@@ -1,0 +1,32 @@
+"""Benchmark-suite helpers: result emission and shared options.
+
+Every bench regenerates one of the paper's tables/figures, prints the
+rows/series, writes them under ``benchmarks/out/`` and asserts the
+expected *shape* (who wins, roughly by how much, where crossovers fall) —
+absolute numbers belong to the simulator, not the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def emit():
+    """Print a figure's text rendering and persist it to benchmarks/out/."""
+
+    def _emit(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}")
+
+    return _emit
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

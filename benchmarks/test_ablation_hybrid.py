@@ -1,0 +1,35 @@
+"""Bench: §2.1 hybrid tuner vs its BO and RL members."""
+
+from conftest import run_once
+
+from repro.experiments import ablation_hybrid, format_table
+
+
+def test_ablation_hybrid(benchmark, emit):
+    profiles = run_once(benchmark, ablation_hybrid.run)
+    emit(
+        "ablation_hybrid",
+        format_table(
+            ("tuner", "rec cost s", "instances/deployment", "final tps", "best tps"),
+            [
+                (
+                    p.name,
+                    f"{p.recommendation_cost_s:.0f}",
+                    f"{p.instances_per_deployment:.1f}",
+                    f"{p.final_tps:.0f}",
+                    f"{p.best_tps:.0f}",
+                )
+                for p in profiles
+            ],
+        ),
+    )
+    by_name = {p.name: p for p in profiles}
+    bo, rl, hybrid = by_name["ottertune"], by_name["cdbtune"], by_name["hybrid"]
+    # §1's scalability bound: at production repository sizes, one BO
+    # deployment serves only a handful of instances at a 5-minute period.
+    assert bo.instances_per_deployment < 5.0
+    assert rl.instances_per_deployment > 50.0
+    # The hybrid sits between on cost and near the BO member on quality.
+    assert bo.instances_per_deployment < hybrid.instances_per_deployment
+    assert hybrid.instances_per_deployment < rl.instances_per_deployment
+    assert hybrid.best_tps > rl.final_tps

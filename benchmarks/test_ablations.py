@@ -1,0 +1,55 @@
+"""Benches: the DESIGN.md ablations (entropy filter, mapping, slave-first)."""
+
+from conftest import run_once
+
+from repro.experiments import ablations, format_table
+
+
+def test_ablation_entropy_filter(benchmark, emit):
+    result = run_once(benchmark, ablations.ablate_entropy_filter, windows=24)
+    emit(
+        "ablation_entropy_filter",
+        format_table(
+            ("variant", "tuning requests", "plan-upgrade escalations"),
+            [
+                ("with filter", result.with_filter_requests, result.with_filter_escalations),
+                ("without filter", result.without_filter_requests, 0),
+            ],
+        ),
+    )
+    # The filter converts futile throttles into plan-upgrade escalations.
+    assert result.with_filter_escalations >= 1
+    assert result.with_filter_requests < result.without_filter_requests
+
+
+def test_ablation_mapping_growth(benchmark, emit):
+    result = run_once(benchmark, ablations.ablate_mapping_growth)
+    emit(
+        "ablation_mapping_growth",
+        format_table(
+            ("target samples", "mapped to the right workload"),
+            list(zip(result.samples_per_stage, result.mapped_correctly)),
+        ),
+    )
+    # §3.2: mapping quality improves (and then stays correct) as the
+    # target workload accumulates samples.
+    assert result.mapped_correctly[-1]
+    # Once correct, it stays correct for every larger sample count.
+    first_correct = result.mapped_correctly.index(True)
+    assert all(result.mapped_correctly[first_correct:])
+
+
+def test_ablation_slave_first(benchmark, emit):
+    result = run_once(benchmark, ablations.ablate_slave_first)
+    emit(
+        "ablation_slave_first",
+        format_table(
+            ("apply order", "master still serving"),
+            [
+                ("slave-first (§4)", result.slave_first_master_up),
+                ("master-first", result.master_first_master_up),
+            ],
+        ),
+    )
+    assert result.slave_first_master_up
+    assert not result.master_first_master_up

@@ -1,0 +1,27 @@
+"""Bench: Fig. 2 — queries and memory statistics per workload."""
+
+from conftest import run_once
+
+from repro.experiments import fig02_memory_table, format_table
+
+
+def test_fig02_memory_table(benchmark, emit):
+    rows = run_once(benchmark, fig02_memory_table.run)
+    emit(
+        "fig02_memory_table",
+        format_table(
+            ("workload", "work_mem MB", "memory used MB", "disk used MB"),
+            [
+                (r.workload, r.work_mem_allocated_mb, r.memory_used_mb, r.disk_used_mb)
+                for r in rows
+            ],
+        ),
+    )
+    by_name = {r.workload: r for r in rows}
+    # Paper shape: TPC-C ~0.5 MB and no disk; CH-bench(TPCH) spills
+    # hundreds of MB; YCSB and Wikipedia use no working memory at all.
+    assert 0.3 <= by_name["tpcc"].memory_used_mb <= 0.7
+    assert by_name["tpcc"].disk_used_mb == 0.0
+    assert by_name["tpch"].disk_used_mb > 200.0
+    assert by_name["ycsb"].memory_used_mb == 0.0
+    assert by_name["wikipedia"].memory_used_mb == 0.0

@@ -1,0 +1,25 @@
+"""Bench: Fig. 4 — entropy variation at 50% adulteration probability."""
+
+from conftest import run_once
+
+from repro.experiments import fig03_04_entropy, format_table
+from repro.experiments.fig03_04_entropy import mean_separation
+
+
+def test_fig04_entropy_50(benchmark, emit):
+    points = run_once(benchmark, fig03_04_entropy.run, adulteration_p=0.5, windows=20)
+    emit(
+        "fig04_entropy_50",
+        format_table(
+            ("window", "entropy tpcc", "entropy adulterated"),
+            [
+                (p.window, f"{p.entropy_tpcc:.3f}", f"{p.entropy_adulterated:.3f}")
+                for p in points
+            ],
+        ),
+    )
+    assert all(p.entropy_adulterated > p.entropy_tpcc for p in points)
+    assert mean_separation(points) > 0.15
+    # The 80% variant separates at least as strongly as the 50% one.
+    strong = fig03_04_entropy.run(adulteration_p=0.8, windows=20)
+    assert mean_separation(strong) >= mean_separation(points) - 0.02

@@ -1,0 +1,30 @@
+"""Bench: Fig. 6 — planner-MDP learning progress and accuracy."""
+
+from conftest import run_once
+
+from repro.experiments import fig06_mdp_learning, format_table
+
+
+def test_fig06_mdp_learning(benchmark, emit):
+    run = run_once(benchmark, fig06_mdp_learning.run, n_episodes=10)
+    rewards = run.episodic_rewards
+    mean_acc = run.cumulative_mean_accuracy()
+    emit(
+        "fig06_mdp_learning",
+        format_table(
+            ("episode", "episodic reward", "accuracy", "running mean accuracy"),
+            [
+                (i, f"{r:.3f}", f"{a:.3f}", f"{m:.3f}")
+                for i, (r, a, m) in enumerate(
+                    zip(rewards, run.accuracies, mean_acc)
+                )
+            ],
+        ),
+    )
+    # Paper shape (Fig. 6a/6b): the first, purely-exploratory episode
+    # rewards least; accuracy climbs as the automata concentrate on the
+    # profitable directions.
+    assert rewards[0] <= min(rewards[1:]) + 1e-9
+    assert run.accuracies[-1] >= run.accuracies[0] + 0.05
+    assert mean_acc[-1] >= mean_acc[0]
+    assert all(0.0 <= a <= 1.0 for a in run.accuracies)

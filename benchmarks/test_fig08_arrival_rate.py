@@ -1,0 +1,26 @@
+"""Bench: Fig. 8 — production workload query arrival rate."""
+
+from conftest import run_once
+
+from repro.experiments import fig08_arrival_rate, format_table
+from repro.experiments.fig08_arrival_rate import daily_total
+
+
+def test_fig08_arrival_rate(benchmark, emit):
+    points = run_once(benchmark, fig08_arrival_rate.run)
+    emit(
+        "fig08_arrival_rate",
+        format_table(
+            ("hour", "queries", "rate/s"),
+            [(p.hour, p.queries, f"{p.rate_per_s:.0f}") for p in points],
+        )
+        + f"\ndaily total: {daily_total(points):,}",
+    )
+    by_hour = {p.hour: p for p in points}
+    # Paper shape: diurnal curve with the 8-11 AM surge; the published
+    # trace averages 42.13M queries/day.
+    assert by_hour[3].rate_per_s < by_hour[10].rate_per_s
+    assert by_hour[12].rate_per_s > 2.5 * by_hour[3].rate_per_s
+    assert by_hour[12].rate_per_s > by_hour[22].rate_per_s
+    total = daily_total(points)
+    assert 30_000_000 < total < 55_000_000

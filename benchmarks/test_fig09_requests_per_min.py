@@ -1,0 +1,40 @@
+"""Bench: Fig. 9 — tuning requests per minute, TDE vs periodic."""
+
+from conftest import run_once
+
+from repro.experiments import fig09_requests_per_minute, format_table
+
+
+def test_fig09_requests_per_minute(benchmark, emit):
+    run = run_once(
+        benchmark,
+        fig09_requests_per_minute.run,
+        fleet_size=10,
+        hours=12.0,
+    )
+    emit(
+        "fig09_requests_per_minute",
+        format_table(
+            ("hour", "TDE rpm", "periodic 5min rpm", "periodic 10min rpm"),
+            [
+                (
+                    f"{p.hour:.0f}",
+                    f"{p.tde_rpm:.2f}",
+                    f"{p.periodic_5min_rpm:.2f}",
+                    f"{p.periodic_10min_rpm:.2f}",
+                )
+                for p in run.points
+            ],
+        )
+        + (
+            f"\ntotals: TDE {run.tde_total}, 5min {run.periodic_5min_total}, "
+            f"10min {run.periodic_10min_total}; TDE peak hour "
+            f"{run.tde_peak_hour():.0f}"
+        ),
+    )
+    # Paper shape: the TDE sits well below both periodic baselines in
+    # every bucket and in total.
+    assert run.tde_total < run.periodic_10min_total * 0.6
+    assert run.tde_total < run.periodic_5min_total * 0.3
+    assert all(p.tde_rpm < p.periodic_5min_rpm for p in run.points)
+    assert all(p.tde_rpm < p.periodic_10min_rpm for p in run.points)

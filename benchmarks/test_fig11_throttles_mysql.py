@@ -1,0 +1,22 @@
+"""Bench: Fig. 11 — throttles by knob class per workload, MySQL."""
+
+from conftest import run_once
+from test_fig10_throttles_postgres import _render
+
+from repro.experiments import fig10_11_throttles
+
+
+def test_fig11_throttles_mysql(benchmark, emit):
+    panels = run_once(benchmark, fig10_11_throttles.run, flavor="mysql", iterations=20)
+    emit("fig11_throttles_mysql", _render(panels))
+    write_heavy = panels["write-heavy"][0]
+    # MySQL 5.6's tiny default sort/join buffers (0.25 MB) make TPC-C's
+    # stock-level sorts spill, so write-heavy shows memory throttles
+    # alongside the background-writer ones (the paper's "sort_buffer_size
+    # is TPCC's hot knob in MySQL").
+    assert write_heavy.background_writer > 0
+    for r in panels["mix/read-heavy"]:
+        # YCSB-A's 50% updates legitimately add bgwriter signal in
+        # the mix panel; memory(+planner) must at least match it.
+        assert r.memory + r.async_planner >= r.background_writer
+        assert r.memory > 0

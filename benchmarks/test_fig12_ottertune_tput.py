@@ -1,0 +1,44 @@
+"""Bench: Fig. 12 — live throughput, OtterTune vs OtterTune + TDE."""
+
+from conftest import run_once
+
+from repro.experiments import fig12_13_throughput, format_table
+
+
+def test_fig12_ottertune_throughput(benchmark, emit):
+    series = run_once(
+        benchmark,
+        fig12_13_throughput.run,
+        tuner_kind="ottertune",
+        flavor="postgres",
+        hours=24.0,
+        window_s=600.0,
+        feeder_count=3,
+    )
+    emit(
+        "fig12_ottertune_tput",
+        format_table(
+            ("hour", "OtterTune+TDE tps", "OtterTune tps"),
+            [
+                (f"{h:.0f}", f"{g:.0f}", f"{u:.0f}")
+                for h, g, u in zip(
+                    series.hours, series.gated_tps, series.ungated_tps
+                )
+            ],
+        )
+        + (
+            f"\ndaytime means: gated {series.daytime_mean(series.gated_tps):.0f}"
+            f" vs ungated {series.daytime_mean(series.ungated_tps):.0f}"
+            f" (advantage {series.gated_advantage:.2f}x);"
+            f" requests gated {series.gated_requests}"
+            f" vs ungated {series.ungated_requests}"
+        ),
+    )
+    # Robust shape (see EXPERIMENTS.md deviations): the TDE-gated
+    # pipeline stays in the ungated deployment's throughput band while
+    # issuing a fraction of the tuning requests. The paper's strict
+    # "gated wins throughput" direction is not stable in this noise-free
+    # simulator, where every busy-hour sample is informative and more
+    # tuning iterations can outweigh restart churn.
+    assert series.gated_advantage > 0.8
+    assert series.gated_requests < series.ungated_requests * 0.75

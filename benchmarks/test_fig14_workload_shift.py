@@ -1,0 +1,61 @@
+"""Bench: Table 1 + Fig. 14 — throttles captured on workload transitions."""
+
+from conftest import run_once
+
+from repro.experiments import fig14_workload_shift, format_table
+
+
+def _run_two_seeds():
+    """Aggregate two repetitions (the paper averages iterations)."""
+    first = fig14_workload_shift.run(seed=0)
+    second = fig14_workload_shift.run(seed=5)
+    for a, b in zip(first, second):
+        a.throttles_total += b.throttles_total
+        for cls, count in b.by_class.items():
+            a.by_class[cls] = a.by_class.get(cls, 0) + count
+    return first
+
+
+def test_fig14_workload_shift(benchmark, emit):
+    results = run_once(benchmark, _run_two_seeds)
+    emit(
+        "fig14_workload_shift",
+        format_table(
+            ("#", "transition", "window", "throttles", "classes observed", "classes expected"),
+            [
+                (
+                    r.spec.number,
+                    f"{r.spec.source}->{r.spec.target}",
+                    f"{r.spec.window_min:.0f} min",
+                    r.throttles_total,
+                    ",".join(r.observed_classes()) or "-",
+                    ",".join(r.spec.expected_classes) or "-",
+                )
+                for r in results
+            ],
+        ),
+    )
+    by_number = {r.spec.number: r for r in results}
+    # Paper shape highlights (asserted at group level — which *specific*
+    # transition surfaces the background-writer signal varies with the
+    # settled configuration the tuner handed the source workload):
+    # 1. write-pattern transitions (#1, #5, #6) raise more throttles than
+    #    the point-read-shaped YCSB↔Wiki pair (#3, #4);
+    write_group = sum(
+        by_number[n].throttles_total for n in (1, 5, 6)
+    )
+    quiet_group = by_number[3].throttles_total + by_number[4].throttles_total
+    assert write_group > quiet_group
+    # 2. background-writer throttles appear somewhere across the table;
+    assert any(
+        r.by_class.get("background_writer", 0) > 0 for r in results
+    )
+    # 3. #4 (Wiki→YCSB, Table 1's "NA" row) raises no *memory or
+    #    planner* throttles — its residual signal, when any, is the
+    #    bgwriter reacting to the settled configuration, which varies
+    #    with the tuner's settle-phase picks;
+    assert by_number[4].by_class.get("memory", 0) == 0
+    assert by_number[4].by_class.get("async_planner", 0) == 0
+    # 4. transitions raise a handful of throttles, not a stream —
+    #    detection windows are minutes (Table 1), not hours.
+    assert all(r.throttles_total <= 24 for r in results)

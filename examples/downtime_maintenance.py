@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Non-tunable knobs scenario: safe apply, reconciliation, downtime sizing.
+
+Shows §4's machinery end to end on a replicated service:
+
+1. the DFA applies a recommendation slave-first — a crash-inducing config
+   is rejected with the master untouched;
+2. the reconciler rolls back config drift after the watcher timeout;
+3. the scheduled-downtime policy resizes the buffer pool from the working
+   set and the 99th percentile of past recommendations.
+
+Run:  python examples/downtime_maintenance.py
+"""
+
+from repro.core.apply import DataFederationAgent, NonTunableKnobPolicy, Reconciler, ServiceOrchestrator
+from repro.core.director import ConfigRepository
+from repro.dbsim import ReplicatedService
+from repro.cloud import Provisioner
+
+
+def main() -> None:
+    provisioner = Provisioner(seed=1)
+    deployment = provisioner.provision(
+        plan="m4.large", flavor="postgres", data_size_gb=8.0, replicas=2
+    )
+    service: ReplicatedService = deployment.service
+    orchestrator = ServiceOrchestrator()
+    orchestrator.register(deployment)
+    dfa = DataFederationAgent()
+
+    # 1. Slave-first apply protects the master from a bad recommendation.
+    bad = service.config.with_values({"shared_buffers": 60_000, "work_mem": 4000})
+    report = dfa.apply(service, bad, mode="restart")
+    print(
+        "bad config rejected at"
+        f" {report.rejected_at}; master up: {not service.master.crashed};"
+        f" healed slaves: {report.healed_slaves}"
+    )
+
+    good = service.config.with_values({"work_mem": 64, "checkpoint_timeout": 900})
+    report = dfa.apply(service, good)
+    print(f"good config applied to {report.nodes_updated} nodes\n")
+    orchestrator.persist_config(deployment.instance_id, service.master.config)
+
+    # 2. Drift: someone edits the master by hand; the reconciler reverts it.
+    reconciler = Reconciler(orchestrator, watcher_timeout_s=120.0)
+    service.master.config = service.master.config.with_values({"work_mem": 999})
+    action = reconciler.tick(deployment.instance_id, service, now_s=0.0)
+    print(f"drift detected: {action.drift_detected} (within watcher timeout)")
+    action = reconciler.tick(deployment.instance_id, service, now_s=150.0)
+    print(
+        f"after timeout: reconciled={action.reconciled};"
+        f" work_mem back to {service.master.config['work_mem']:.0f} MB\n"
+    )
+
+    # 3. Scheduled downtime sizes the non-tunable buffer pool.
+    config_history = ConfigRepository()
+    for t, buffer_mb in enumerate((1500, 2200, 2600, 2400)):
+        config_history.store(
+            deployment.instance_id,
+            service.config.with_values({"shared_buffers": buffer_mb}),
+            "ottertune",
+            float(t),
+        )
+    policy = NonTunableKnobPolicy(config_history)
+    decision = policy.decide(
+        deployment.instance_id,
+        service.master.config,
+        working_set_mb=8.0 * 1024 * 0.35,
+        memory_limit_mb=service.master.vm.db_memory_limit_mb,
+        entropy_hits=0,
+        last_downtime_s=0.0,
+    )
+    print(
+        f"downtime decision [{decision.rule}]: shared_buffers"
+        f" {decision.old_value_mb:.0f} -> {decision.new_value_mb:.0f} MB"
+    )
+    target = service.master.config.clamped(
+        {decision.buffer_knob: decision.new_value_mb}
+    )
+    report = dfa.apply(service, target, mode="restart")
+    print(f"applied at downtime across {report.nodes_updated} nodes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,282 @@
+"""Command-line interface: run experiments and demos from the shell.
+
+Usage (installed as ``repro`` or via ``python -m repro``)::
+
+    repro list                         # list reproducible figures
+    repro run fig02                    # regenerate one figure's data
+    repro run fig09 --fleet-size 80 --hours 24   # paper scale
+    repro demo quickstart              # run an example scenario
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable, Sequence
+
+from repro.experiments import (
+    ablations,
+    fig02_memory_table,
+    fig03_04_entropy,
+    fig05_disk_latency,
+    fig06_mdp_learning,
+    fig07_reload_iops,
+    fig08_arrival_rate,
+    fig09_requests_per_minute,
+    fig10_11_throttles,
+    fig12_13_throughput,
+    fig14_workload_shift,
+    fig15_accuracy,
+    format_table,
+)
+
+__all__ = ["main"]
+
+
+def _run_fig02(args: argparse.Namespace) -> None:
+    rows = fig02_memory_table.run(seed=args.seed)
+    print(
+        format_table(
+            ("workload", "work_mem MB", "memory MB", "disk MB"),
+            [
+                (r.workload, r.work_mem_allocated_mb, r.memory_used_mb, r.disk_used_mb)
+                for r in rows
+            ],
+        )
+    )
+
+
+def _run_entropy(args: argparse.Namespace) -> None:
+    points = fig03_04_entropy.run(
+        adulteration_p=args.adulteration, windows=args.windows, seed=args.seed
+    )
+    print(
+        format_table(
+            ("window", "tpcc", "adulterated"),
+            [
+                (p.window, f"{p.entropy_tpcc:.3f}", f"{p.entropy_adulterated:.3f}")
+                for p in points
+            ],
+        )
+    )
+
+
+def _run_fig05(args: argparse.Namespace) -> None:
+    run = fig05_disk_latency.run(seed=args.seed)
+    print(
+        f"default write latency: mean {run.default_mean_ms:.2f} ms, "
+        f"max {run.default_latency.max():.2f} ms"
+    )
+    print(
+        f"tuned   write latency: mean {run.tuned_mean_ms:.2f} ms, "
+        f"max {run.tuned_latency.max():.2f} ms"
+    )
+
+
+def _run_fig06(args: argparse.Namespace) -> None:
+    run = fig06_mdp_learning.run(seed=args.seed)
+    print(
+        format_table(
+            ("episode", "reward", "accuracy"),
+            [
+                (i, f"{r:.4f}", f"{a:.3f}")
+                for i, (r, a) in enumerate(
+                    zip(run.episodic_rewards, run.accuracies)
+                )
+            ],
+        )
+    )
+
+
+def _run_fig07(args: argparse.Namespace) -> None:
+    comparison = fig07_reload_iops.run(seed=args.seed)
+    for name, report in (
+        ("no reload", comparison.no_reload),
+        ("reload signal", comparison.reload_signal),
+        ("socket activation", comparison.socket_activation),
+    ):
+        print(
+            f"{name:18s} mean tps {report.mean_tps:8.0f}"
+            f"  relative {comparison.relative_tps(report):.3f}"
+        )
+
+
+def _run_fig08(args: argparse.Namespace) -> None:
+    points = fig08_arrival_rate.run(seed=args.seed)
+    print(
+        format_table(
+            ("hour", "queries", "rate/s"),
+            [(p.hour, p.queries, f"{p.rate_per_s:.0f}") for p in points],
+        )
+    )
+    print(f"daily total: {fig08_arrival_rate.daily_total(points):,}")
+
+
+def _run_fig09(args: argparse.Namespace) -> None:
+    run = fig09_requests_per_minute.run(
+        fleet_size=args.fleet_size, hours=args.hours, seed=args.seed
+    )
+    print(
+        format_table(
+            ("hour", "TDE rpm", "5min rpm", "10min rpm"),
+            [
+                (f"{p.hour:.0f}", f"{p.tde_rpm:.2f}",
+                 f"{p.periodic_5min_rpm:.2f}", f"{p.periodic_10min_rpm:.2f}")
+                for p in run.points
+            ],
+        )
+    )
+    print(
+        f"totals: TDE {run.tde_total} vs 5-min {run.periodic_5min_total}"
+        f" vs 10-min {run.periodic_10min_total}"
+    )
+
+
+def _run_fig10(args: argparse.Namespace) -> None:
+    panels = fig10_11_throttles.run(flavor=args.flavor, seed=args.seed)
+    rows = [
+        (panel, r.workload, f"{r.memory:.2f}", f"{r.background_writer:.2f}",
+         f"{r.async_planner:.2f}")
+        for panel, results in panels.items()
+        for r in results
+    ]
+    print(
+        format_table(
+            ("panel", "workload", "memory", "bgwriter", "async/planner"), rows
+        )
+    )
+
+
+def _run_fig12(args: argparse.Namespace) -> None:
+    series = fig12_13_throughput.run(
+        tuner_kind=args.tuner, flavor=args.flavor, hours=args.hours,
+        seed=args.seed,
+    )
+    print(
+        format_table(
+            ("hour", "gated tps", "ungated tps"),
+            [
+                (f"{h:.0f}", f"{g:.0f}", f"{u:.0f}")
+                for h, g, u in zip(series.hours, series.gated_tps, series.ungated_tps)
+            ],
+        )
+    )
+    print(
+        f"requests: gated {series.gated_requests} vs ungated"
+        f" {series.ungated_requests}; daytime advantage"
+        f" {series.gated_advantage:.2f}x"
+    )
+
+
+def _run_fig14(args: argparse.Namespace) -> None:
+    results = fig14_workload_shift.run(seed=args.seed)
+    print(
+        format_table(
+            ("#", "transition", "throttles", "classes"),
+            [
+                (r.spec.number, f"{r.spec.source}->{r.spec.target}",
+                 r.throttles_total, ",".join(r.observed_classes()) or "-")
+                for r in results
+            ],
+        )
+    )
+
+
+def _run_fig15(args: argparse.Namespace) -> None:
+    result = fig15_accuracy.run(seed=args.seed)
+    for cls in ("memory", "background_writer", "async_planner"):
+        accuracy = result.accuracy(cls)
+        rendered = f"{accuracy:.2f}" if accuracy is not None else "-"
+        print(f"{cls:18s} accuracy {rendered} ({result.total.get(cls, 0)} throttles)")
+
+
+def _run_ablations(args: argparse.Namespace) -> None:
+    print(ablations.ablate_entropy_filter())
+    print(ablations.ablate_mapping_growth())
+    print(ablations.ablate_slave_first())
+
+
+_EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
+    "fig02": ("Fig. 2 memory table", _run_fig02),
+    "fig03": ("Fig. 3/4 entropy variation", _run_entropy),
+    "fig05": ("Fig. 5 disk latency default vs tuned", _run_fig05),
+    "fig06": ("Fig. 6 MDP learning curves", _run_fig06),
+    "fig07": ("Fig. 7 reload-signal IOPS", _run_fig07),
+    "fig08": ("Fig. 8 production arrival rate", _run_fig08),
+    "fig09": ("Fig. 9 tuning requests per minute", _run_fig09),
+    "fig10": ("Fig. 10/11 throttles by class", _run_fig10),
+    "fig12": ("Fig. 12/13 gated vs ungated throughput", _run_fig12),
+    "fig14": ("Table 1 + Fig. 14 workload transitions", _run_fig14),
+    "fig15": ("Fig. 15 throttle accuracy", _run_fig15),
+    "ablations": ("DESIGN.md ablations", _run_ablations),
+}
+
+_DEMOS = (
+    "quickstart",
+    "paas_fleet",
+    "workload_shift",
+    "downtime_maintenance",
+    "tuner_comparison",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AutoDBaaS (EDBT 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible experiments")
+
+    run = sub.add_parser("run", help="regenerate one experiment")
+    run.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--fleet-size", type=int, default=16, dest="fleet_size")
+    run.add_argument("--hours", type=float, default=12.0)
+    run.add_argument("--windows", type=int, default=20)
+    run.add_argument("--adulteration", type=float, default=0.8)
+    run.add_argument("--flavor", choices=("postgres", "mysql"), default="postgres")
+    run.add_argument("--tuner", choices=("ottertune", "cdbtune"), default="ottertune")
+
+    demo = sub.add_parser("demo", help="run an example scenario")
+    demo.add_argument("name", choices=_DEMOS)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # Piped into head/less that closed early — not an error.
+        import os
+
+        os.close(sys.stderr.fileno())
+        return 0
+
+
+def _dispatch(argv: Sequence[str] | None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (description, _) in sorted(_EXPERIMENTS.items()):
+            print(f"{name:10s} {description}")
+        return 0
+    if args.command == "run":
+        try:
+            _EXPERIMENTS[args.experiment][1](args)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    if args.command == "demo":
+        import importlib
+
+        module = importlib.import_module(f"examples.{args.name}")
+        module.main()
+        return 0
+    return 2  # unreachable with required=True; defensive
+
+
+if __name__ == "__main__":
+    sys.exit(main())

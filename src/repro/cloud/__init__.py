@@ -1,0 +1,25 @@
+"""Cloud substrate: VM types, provisioner, monitoring agent, live fleet."""
+
+from repro.cloud.fleet import PAPER_PLAN_MIX, FleetMember, LiveFleet
+from repro.cloud.metrics_export import render_agent_metrics, render_counters
+from repro.cloud.monitoring import MonitoringAgent
+from repro.cloud.provisioner import Credentials, Provisioner, ServiceDeployment
+from repro.cloud.vm import HDD, SSD, VM_TYPES, DiskKind, VMType, vm_type
+
+__all__ = [
+    "Credentials",
+    "DiskKind",
+    "FleetMember",
+    "HDD",
+    "LiveFleet",
+    "MonitoringAgent",
+    "PAPER_PLAN_MIX",
+    "Provisioner",
+    "render_agent_metrics",
+    "render_counters",
+    "SSD",
+    "ServiceDeployment",
+    "VMType",
+    "VM_TYPES",
+    "vm_type",
+]

@@ -1,0 +1,104 @@
+"""Cloud provisioner — the cloud-foundry/Bosh stand-in.
+
+§5 provisions everything through cloud-foundry managed by Bosh: 12 tuner
+instances, 5 config-director instances and 80 live database deployments
+across five VM plans, plus bare service replicas per plan for validating
+recommendations. :class:`Provisioner` is the registry that spawns and
+tracks those deployments in the simulation, and hands out the credentials
+the Service Orchestrator layer manages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.vm import VMType, vm_type
+from repro.common.rng import derive_rng, make_rng
+from repro.dbsim.replication import ReplicatedService
+
+__all__ = ["Credentials", "ServiceDeployment", "Provisioner"]
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """Access credentials for one service instance (held by the orchestrator)."""
+
+    instance_id: str
+    username: str
+    password: str
+
+
+@dataclass
+class ServiceDeployment:
+    """One provisioned database service."""
+
+    instance_id: str
+    plan: str
+    service: ReplicatedService
+    credentials: Credentials
+    labels: dict[str, str] = field(default_factory=dict)
+
+
+class Provisioner:
+    """Spawns and tracks service deployments on VM plans."""
+
+    def __init__(self, seed: int | np.random.Generator | None = 0) -> None:
+        self._rng = make_rng(seed)
+        self._counter = itertools.count()
+        self._deployments: dict[str, ServiceDeployment] = {}
+
+    def provision(
+        self,
+        plan: str | VMType = "m4.large",
+        flavor: str = "postgres",
+        data_size_gb: float = 20.0,
+        replicas: int = 1,
+        labels: dict[str, str] | None = None,
+    ) -> ServiceDeployment:
+        """Spawn a replicated database service on *plan*."""
+        vm = vm_type(plan) if isinstance(plan, str) else plan
+        index = next(self._counter)
+        instance_id = f"svc-{index:04d}"
+        service = ReplicatedService(
+            flavor=flavor,
+            vm=vm,
+            data_size_gb=data_size_gb,
+            replicas=replicas,
+            seed=derive_rng(self._rng, instance_id),
+        )
+        password = "".join(
+            "0123456789abcdef"[int(d)]
+            for d in self._rng.integers(0, 16, size=16)
+        )
+        deployment = ServiceDeployment(
+            instance_id=instance_id,
+            plan=vm.name,
+            service=service,
+            credentials=Credentials(instance_id, f"admin_{index}", password),
+            labels=dict(labels or {}),
+        )
+        self._deployments[instance_id] = deployment
+        return deployment
+
+    def deprovision(self, instance_id: str) -> None:
+        """Tear a deployment down."""
+        if instance_id not in self._deployments:
+            raise KeyError(f"unknown deployment {instance_id!r}")
+        del self._deployments[instance_id]
+
+    def get(self, instance_id: str) -> ServiceDeployment:
+        """Deployment by id."""
+        try:
+            return self._deployments[instance_id]
+        except KeyError:
+            raise KeyError(f"unknown deployment {instance_id!r}") from None
+
+    def deployments(self) -> list[ServiceDeployment]:
+        """All live deployments, provision order."""
+        return list(self._deployments.values())
+
+    def __len__(self) -> int:
+        return len(self._deployments)

@@ -1,0 +1,17 @@
+"""VM resource catalog — public home of the hardware types.
+
+Implementation lives in :mod:`repro.common.hardware` (a dependency-free
+leaf module) so the DB simulator can import VM types without triggering
+the cloud package's higher-level imports; this module is the public face.
+"""
+
+from repro.common.hardware import (
+    HDD,
+    SSD,
+    VM_TYPES,
+    DiskKind,
+    VMType,
+    vm_type,
+)
+
+__all__ = ["DiskKind", "HDD", "SSD", "VMType", "VM_TYPES", "vm_type"]

@@ -1,0 +1,18 @@
+"""Shared infrastructure: seeded randomness, time series, small statistics.
+
+Everything in :mod:`repro` that needs randomness takes a
+``numpy.random.Generator`` (or a seed) explicitly so that every experiment
+in the benchmark suite is reproducible bit-for-bit.
+"""
+
+from repro.common.rng import derive_rng, make_rng
+from repro.common.stats import exponential_moving_average, percentile
+from repro.common.timeseries import TimeSeries
+
+__all__ = [
+    "TimeSeries",
+    "derive_rng",
+    "exponential_moving_average",
+    "make_rng",
+    "percentile",
+]

@@ -1,0 +1,76 @@
+"""VM resource catalog (the AWS instance types of §5).
+
+The paper provisions database services on t2.small, t2.medium, m4.large,
+t2.large and m4.xlarge, tuner instances on m4.xlarge, and the Fig. 2
+measurement on t3.xlarge. The simulator only needs each type's vCPU count,
+memory and storage profile — these drive the knob caps, swap penalties and
+plan-upgrade escalations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DiskKind", "VMType", "VM_TYPES", "vm_type"]
+
+
+@dataclass(frozen=True)
+class DiskKind:
+    """Storage device profile backing a VM.
+
+    ``base_latency_ms`` is the per-IO service latency at low queue depth;
+    ``throughput_mb_s`` caps sustained sequential bandwidth; ``max_iops``
+    caps random-IO rate. The background-writer detector requires training
+    and live systems to share a profile (§3.2's SSD/HDD constraint).
+    """
+
+    name: str
+    base_latency_ms: float
+    throughput_mb_s: float
+    max_iops: float
+
+
+SSD = DiskKind("ssd", base_latency_ms=0.6, throughput_mb_s=250.0, max_iops=8_000.0)
+HDD = DiskKind("hdd", base_latency_ms=7.5, throughput_mb_s=120.0, max_iops=300.0)
+
+
+@dataclass(frozen=True)
+class VMType:
+    """One cloud instance type."""
+
+    name: str
+    vcpus: int
+    memory_mb: float
+    disk: DiskKind = SSD
+
+    @property
+    def db_memory_limit_mb(self) -> float:
+        """Memory the database process may use (total minus OS headroom).
+
+        We reserve 20% (min 256 MB) for the OS, monitoring agents and the
+        TDE plugin itself.
+        """
+        return self.memory_mb - max(256.0, 0.2 * self.memory_mb)
+
+
+VM_TYPES: dict[str, VMType] = {
+    vm.name: vm
+    for vm in (
+        VMType("t2.small", vcpus=1, memory_mb=2_048),
+        VMType("t2.medium", vcpus=2, memory_mb=4_096),
+        VMType("t2.large", vcpus=2, memory_mb=8_192),
+        VMType("m4.large", vcpus=2, memory_mb=8_192),
+        VMType("m4.xlarge", vcpus=4, memory_mb=16_384),
+        VMType("t3.xlarge", vcpus=4, memory_mb=16_384),
+    )
+}
+
+
+def vm_type(name: str) -> VMType:
+    """Look up a VM type by name."""
+    try:
+        return VM_TYPES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown VM type {name!r}; known: {sorted(VM_TYPES)}"
+        ) from None

@@ -1,0 +1,121 @@
+"""A minimal append-only time series used throughout the simulator.
+
+Monitoring agents (the Dynatrace stand-in), the storage model and the
+benchmark harnesses all exchange ``TimeSeries`` values: pairs of
+``(timestamp_seconds, value)`` with convenience reductions. Timestamps are
+simulated seconds, not wall clock.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """Append-only series of ``(time, value)`` samples.
+
+    Parameters
+    ----------
+    name:
+        Metric name, e.g. ``"disk.write_latency_ms"``.
+    unit:
+        Human-readable unit used by benchmark printouts.
+    """
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        """Append one sample; *time* must be >= the last appended time."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"non-monotonic timestamp {time} < {self._times[-1]} in {self.name}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def extend(self, samples: Iterable[tuple[float, float]]) -> None:
+        """Append many ``(time, value)`` samples in order."""
+        for time, value in samples:
+            self.append(time, value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self) -> np.ndarray:
+        """Timestamps as a float array."""
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Values as a float array."""
+        return np.asarray(self._values, dtype=float)
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Return the sub-series with ``start <= time < end``."""
+        out = TimeSeries(self.name, self.unit)
+        for time, value in self:
+            if start <= time < end:
+                out.append(time, value)
+        return out
+
+    def mean(self) -> float:
+        """Arithmetic mean of the values (0.0 for an empty series)."""
+        return float(np.mean(self._values)) if self._values else 0.0
+
+    def max(self) -> float:
+        """Maximum value (0.0 for an empty series)."""
+        return float(np.max(self._values)) if self._values else 0.0
+
+    def std(self) -> float:
+        """Population standard deviation (0.0 for fewer than 2 samples)."""
+        if len(self._values) < 2:
+            return 0.0
+        return float(np.std(self._values))
+
+    def peaks(self, threshold: float) -> list[float]:
+        """Timestamps of local maxima whose value exceeds *threshold*.
+
+        Used by the background-writer detector to find checkpoint-induced
+        latency peaks and measure the time between them.
+        """
+        found: list[float] = []
+        values = self._values
+        for i in range(1, len(values) - 1):
+            is_local_max = values[i] >= values[i - 1] and values[i] >= values[i + 1]
+            if is_local_max and values[i] > threshold:
+                found.append(self._times[i])
+        return found
+
+    def resample_mean(self, bucket_seconds: float) -> "TimeSeries":
+        """Bucket the series by *bucket_seconds* and average each bucket."""
+        out = TimeSeries(self.name, self.unit)
+        if not self._times:
+            return out
+        bucket_start = self._times[0]
+        acc: list[float] = []
+        for time, value in self:
+            if time >= bucket_start + bucket_seconds:
+                if acc:
+                    out.append(bucket_start, float(np.mean(acc)))
+                while time >= bucket_start + bucket_seconds:
+                    bucket_start += bucket_seconds
+                acc = []
+            acc.append(value)
+        if acc:
+            out.append(bucket_start, float(np.mean(acc)))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TimeSeries({self.name!r}, n={len(self)}, mean={self.mean():.3f})"

@@ -1,0 +1,5 @@
+"""AutoDBaaS core: TDE, config director, apply pipeline, service facade."""
+
+from repro.core.service import AutoDBaaS, ManagedInstance, StepOutcome
+
+__all__ = ["AutoDBaaS", "ManagedInstance", "StepOutcome"]

@@ -1,0 +1,41 @@
+"""Applying recommendations: adapters, DFA, orchestrator, reconciler (§4)."""
+
+from repro.core.apply.adapters import (
+    DatabaseAdapter,
+    MySQLAdapter,
+    NodeApplyResult,
+    PostgresAdapter,
+    adapter_for,
+)
+from repro.core.apply.dfa import ApplyReport, DataFederationAgent
+from repro.core.apply.nontunable import DowntimeDecision, NonTunableKnobPolicy
+from repro.core.apply.orchestrator import DowntimeWindow, ServiceOrchestrator
+from repro.core.apply.reconciler import ReconcileAction, Reconciler
+from repro.core.apply.restart import (
+    ApplyStrategy,
+    FullRestartStrategy,
+    PeriodicReloadDriver,
+    ReloadSignalStrategy,
+    SocketActivationStrategy,
+)
+
+__all__ = [
+    "ApplyReport",
+    "ApplyStrategy",
+    "DataFederationAgent",
+    "DatabaseAdapter",
+    "DowntimeDecision",
+    "DowntimeWindow",
+    "FullRestartStrategy",
+    "MySQLAdapter",
+    "NodeApplyResult",
+    "NonTunableKnobPolicy",
+    "PeriodicReloadDriver",
+    "PostgresAdapter",
+    "ReconcileAction",
+    "Reconciler",
+    "ReloadSignalStrategy",
+    "ServiceOrchestrator",
+    "SocketActivationStrategy",
+    "adapter_for",
+]

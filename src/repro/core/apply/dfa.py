@@ -1,0 +1,91 @@
+"""Data Federation Agent: slave-first configuration apply (§4).
+
+"In case of multiple nodes maintaining high availability, the
+recommendations are first applied to the Slave node(s). If the process
+crashes in the Slave node, the config recommendations are rejected. Thus,
+it is ensured that the Master node is up ... After the config
+recommendations are applied to the Master node, the recommendations are
+stored in the persistence storage used by the service-orchestrator."
+
+The DFA implements exactly that protocol against a
+:class:`~repro.dbsim.replication.ReplicatedService`, healing any slave it
+crashed and reporting rejection instead of propagating the failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.apply.adapters import DatabaseAdapter, adapter_for
+from repro.dbsim.config import KnobConfiguration
+from repro.dbsim.replication import ReplicatedService
+
+__all__ = ["ApplyReport", "DataFederationAgent"]
+
+
+@dataclass
+class ApplyReport:
+    """Outcome of one fleet-wide apply attempt."""
+
+    applied: bool
+    rejected_at: str = ""
+    error: str = ""
+    skipped_restart_required: tuple[str, ...] = ()
+    nodes_updated: int = 0
+    healed_slaves: list[int] = field(default_factory=list)
+
+
+class DataFederationAgent:
+    """Applies recommendations to all nodes of a service, slave-first."""
+
+    def __init__(self, adapter: DatabaseAdapter | None = None) -> None:
+        self._adapter = adapter
+
+    def _resolve_adapter(self, service: ReplicatedService) -> DatabaseAdapter:
+        if self._adapter is not None:
+            return self._adapter
+        return adapter_for(service.flavor)
+
+    def apply(
+        self,
+        service: ReplicatedService,
+        config: KnobConfiguration,
+        mode: str = "reload",
+    ) -> ApplyReport:
+        """Apply *config* slave-first; reject on any slave crash.
+
+        A crashed slave is healed (restarted with its previous
+        configuration) before returning, so rejection leaves the service
+        in its pre-apply state.
+        """
+        adapter = self._resolve_adapter(service)
+        report = ApplyReport(applied=False)
+        previous = service.master.config
+        for index, slave in enumerate(service.slaves):
+            result = adapter.apply(slave, config, mode=mode)
+            if result.crashed:
+                slave.heal()
+                report.healed_slaves.append(index)
+                report.rejected_at = f"slave{index}"
+                report.error = result.error
+                # Roll earlier slaves back so rejection leaves the whole
+                # service on its pre-apply configuration (the reconciler
+                # would converge them eventually; do it now).
+                for updated in service.slaves[:index]:
+                    adapter.apply(updated, previous, mode="reload")
+                return report
+            report.nodes_updated += 1
+            report.skipped_restart_required = result.skipped_restart_required
+
+        result = adapter.apply(service.master, config, mode=mode)
+        if result.crashed:
+            # Master down: heal it and report; the reconciler will restore
+            # slave configs from persistence.
+            service.master.heal()
+            report.rejected_at = "master"
+            report.error = result.error
+            return report
+        report.nodes_updated += 1
+        report.skipped_restart_required = result.skipped_restart_required
+        report.applied = True
+        return report

@@ -1,0 +1,105 @@
+"""Service Orchestrator: lifecycle, credentials, persisted configs (§2, §4).
+
+The orchestrator "is responsible for performing all life-cycle operations
+of service instances and maintains credentials"; on any re-deployment it
+"must re-deploy the system with the updated config of the database"
+retrieved from its persistence storage. It also owns the scheduled
+maintenance downtime windows during which restart-required (non-tunable)
+knobs may change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.provisioner import Credentials, ServiceDeployment
+from repro.dbsim.config import KnobConfiguration
+from repro.dbsim.engine import DatabaseCrashed
+
+__all__ = ["DowntimeWindow", "ServiceOrchestrator"]
+
+
+@dataclass(frozen=True)
+class DowntimeWindow:
+    """A pre-announced maintenance window."""
+
+    start_s: float
+    duration_s: float
+
+    def contains(self, time_s: float) -> bool:
+        return self.start_s <= time_s < self.start_s + self.duration_s
+
+
+class ServiceOrchestrator:
+    """Per-landscape orchestrator over provisioned deployments."""
+
+    def __init__(self, downtime_period_s: float = 7 * 86_400.0) -> None:
+        self.downtime_period_s = downtime_period_s
+        self._deployments: dict[str, ServiceDeployment] = {}
+        self._persisted: dict[str, KnobConfiguration] = {}
+        self._last_downtime_s: dict[str, float] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def register(self, deployment: ServiceDeployment) -> None:
+        """Adopt a deployment; its current config becomes the persisted one."""
+        self._deployments[deployment.instance_id] = deployment
+        self._persisted[deployment.instance_id] = (
+            deployment.service.master.config
+        )
+        self._last_downtime_s.setdefault(deployment.instance_id, 0.0)
+
+    def deployment(self, instance_id: str) -> ServiceDeployment:
+        try:
+            return self._deployments[instance_id]
+        except KeyError:
+            raise KeyError(f"unknown instance {instance_id!r}") from None
+
+    def credentials(self, instance_id: str) -> Credentials:
+        """Credentials the DFA fetches before hitting TDE APIs (§2)."""
+        return self.deployment(instance_id).credentials
+
+    # -- persisted configuration -------------------------------------------------
+
+    def persist_config(
+        self, instance_id: str, config: KnobConfiguration
+    ) -> None:
+        """Store the config future re-deployments must come up with."""
+        self.deployment(instance_id)  # validate the id
+        self._persisted[instance_id] = config
+
+    def persisted_config(self, instance_id: str) -> KnobConfiguration:
+        """The config a re-deployment would apply."""
+        try:
+            return self._persisted[instance_id]
+        except KeyError:
+            raise KeyError(f"no persisted config for {instance_id!r}") from None
+
+    def redeploy(self, instance_id: str) -> None:
+        """Restart every node with the persisted config (update/patch path).
+
+        A crash during redeploy (config no longer fits the VM) heals the
+        node back up on its previous config rather than leaving it down.
+        """
+        deployment = self.deployment(instance_id)
+        config = self.persisted_config(instance_id)
+        for node in deployment.service.nodes:
+            try:
+                node.apply_config(config, mode="restart")
+            except DatabaseCrashed:
+                node.heal()
+
+    # -- downtime windows -----------------------------------------------------------
+
+    def downtime_due(self, instance_id: str, now_s: float) -> bool:
+        """Whether the next scheduled downtime has arrived."""
+        last = self._last_downtime_s.get(instance_id, 0.0)
+        return now_s - last >= self.downtime_period_s
+
+    def record_downtime(self, instance_id: str, now_s: float) -> None:
+        """Mark a downtime as taken."""
+        self.deployment(instance_id)
+        self._last_downtime_s[instance_id] = now_s
+
+    def last_downtime_s(self, instance_id: str) -> float:
+        return self._last_downtime_s.get(instance_id, 0.0)

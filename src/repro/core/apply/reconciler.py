@@ -1,0 +1,67 @@
+"""The reconciler: eventual consistency for half-applied configs (§4).
+
+Applying a recommendation touches several stores non-atomically (slave
+nodes, master node, orchestrator persistence). "A reconciler process is
+defined [which] keeps a watch on config of the database system running on
+the Master node. If the difference in config is observed for a threshold
+time-period (watcher timeout), the reconciliation occurs and the config
+stored in the persistence storage is applied to all nodes."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.apply.adapters import adapter_for
+from repro.core.apply.orchestrator import ServiceOrchestrator
+from repro.dbsim.replication import ReplicatedService
+
+__all__ = ["ReconcileAction", "Reconciler"]
+
+
+@dataclass(frozen=True)
+class ReconcileAction:
+    """What one reconciler tick did for one instance."""
+
+    instance_id: str
+    drift_detected: bool
+    reconciled: bool
+    drift_age_s: float
+
+
+class Reconciler:
+    """Watches master configs against persistence and rolls back drift."""
+
+    def __init__(
+        self,
+        orchestrator: ServiceOrchestrator,
+        watcher_timeout_s: float = 120.0,
+    ) -> None:
+        if watcher_timeout_s <= 0:
+            raise ValueError("watcher_timeout_s must be positive")
+        self.orchestrator = orchestrator
+        self.watcher_timeout_s = watcher_timeout_s
+        self._drift_since: dict[str, float] = {}
+
+    def tick(
+        self, instance_id: str, service: ReplicatedService, now_s: float
+    ) -> ReconcileAction:
+        """One watch cycle for *instance_id* at simulated time *now_s*."""
+        persisted = self.orchestrator.persisted_config(instance_id)
+        drifted = service.master.config != persisted or not service.configs_consistent()
+        if not drifted:
+            self._drift_since.pop(instance_id, None)
+            return ReconcileAction(instance_id, False, False, 0.0)
+
+        since = self._drift_since.setdefault(instance_id, now_s)
+        age = now_s - since
+        if age < self.watcher_timeout_s:
+            return ReconcileAction(instance_id, True, False, age)
+
+        # Timeout hit: restore persistence to every node (reload is enough
+        # for the tunable knobs; restart-required drift waits for downtime).
+        adapter = adapter_for(service.flavor)
+        for node in service.nodes:
+            adapter.apply(node, persisted, mode="reload")
+        self._drift_since.pop(instance_id, None)
+        return ReconcileAction(instance_id, True, True, age)

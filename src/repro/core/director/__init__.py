@@ -1,0 +1,14 @@
+"""Config director layer: routing, load balancing, config persistence."""
+
+from repro.core.director.config_director import ConfigDirector, SplitRecommendation
+from repro.core.director.config_repository import ConfigRepository, ConfigVersion
+from repro.core.director.load_balancer import LeastLoadedBalancer, TunerInstance
+
+__all__ = [
+    "ConfigDirector",
+    "ConfigRepository",
+    "ConfigVersion",
+    "LeastLoadedBalancer",
+    "SplitRecommendation",
+    "TunerInstance",
+]

@@ -1,0 +1,156 @@
+"""The config director (§2): routing, bookkeeping, downtime deferral.
+
+The config director receives metric data and tuning requests from the
+service instances' TDEs, load-balances recommendation work across tuner
+instances, stores every recommendation in the config repository, and
+splits recommendations into a reload-able part (forwarded immediately to
+the apply pipeline) and a restart-required part (held for the instance's
+next scheduled maintenance downtime, per §4's non-tunable-knob handling).
+
+It also keeps the tuning-request counters that are the paper's scalability
+evidence (Fig. 9 plots requests per minute across the fleet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.director.config_repository import ConfigRepository
+from repro.core.director.load_balancer import LeastLoadedBalancer
+from repro.dbsim.config import KnobConfiguration
+from repro.tuners.base import Recommendation, TuningRequest
+
+__all__ = ["SplitRecommendation", "ConfigDirector"]
+
+
+@dataclass
+class SplitRecommendation:
+    """A recommendation split into now-appliable and downtime parts."""
+
+    recommendation: Recommendation
+    reloadable: KnobConfiguration
+    deferred_knobs: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def has_deferred(self) -> bool:
+        return bool(self.deferred_knobs)
+
+
+class ConfigDirector:
+    """Routes tuning requests and manages configuration state."""
+
+    def __init__(
+        self,
+        balancer: LeastLoadedBalancer,
+        config_repository: ConfigRepository | None = None,
+    ) -> None:
+        self.balancer = balancer
+        self.configs = (
+            config_repository if config_repository is not None else ConfigRepository()
+        )
+        self.request_times: list[float] = []
+        self._pending_downtime: dict[str, dict[str, float]] = {}
+        self._knob_floors: dict[str, dict[str, float]] = {}
+
+    # -- request handling -----------------------------------------------------
+
+    def handle_tuning_request(self, request: TuningRequest) -> SplitRecommendation:
+        """Route *request* to a tuner and split the recommendation.
+
+        The director remembers per-instance *floors* for knobs that memory
+        throttles implicated: a later recommendation — produced by a tuner
+        whose surrogate is indifferent to a knob — must not regress below
+        a value a previous throttle forced up, or the same throttle
+        re-fires forever.
+        """
+        self.request_times.append(request.timestamp_s)
+        self._raise_floors(request)
+        instance = self.balancer.assign()
+        recommendation = instance.tuner.recommend(request)
+        recommendation.config = self._apply_floors(
+            request.instance_id, recommendation.config
+        )
+        self.configs.store(
+            request.instance_id,
+            recommendation.config,
+            recommendation.source,
+            request.timestamp_s,
+        )
+        return self._split(request.config, recommendation)
+
+    def _raise_floors(self, request: TuningRequest) -> None:
+        if request.throttle_class != "memory" or not request.throttle_knobs:
+            return
+        floors = self._knob_floors.setdefault(request.instance_id, {})
+        for name in request.throttle_knobs:
+            if name not in request.config.catalog:
+                continue
+            knob = request.config.catalog.get(name)
+            # Only tunable *memory* knobs get floors: throttle_knobs may
+            # union knobs from co-occurring non-memory throttles, and
+            # ratcheting a planner knob upward would be nonsense.
+            if knob.restart_required or knob.knob_class.value != "memory":
+                continue
+            floors[name] = max(
+                floors.get(name, 0.0), knob.clamp(2.0 * request.config[name])
+            )
+
+    def _apply_floors(self, instance_id: str, config: KnobConfiguration):
+        floors = self._knob_floors.get(instance_id)
+        if not floors:
+            return config
+        updates = {
+            name: floor
+            for name, floor in floors.items()
+            if config[name] < floor
+        }
+        return config.with_values(updates) if updates else config
+
+    def _split(
+        self, current: KnobConfiguration, recommendation: Recommendation
+    ) -> SplitRecommendation:
+        deferred_names = recommendation.restart_required_changes(current)
+        deferred = {
+            name: recommendation.config[name] for name in deferred_names
+        }
+        if deferred:
+            pending = self._pending_downtime.setdefault(
+                recommendation.instance_id, {}
+            )
+            pending.update(deferred)
+        reload_values = recommendation.config.as_dict()
+        for name in deferred:
+            reload_values[name] = current[name]
+        reloadable = KnobConfiguration(current.catalog, reload_values)
+        return SplitRecommendation(
+            recommendation=recommendation,
+            reloadable=reloadable,
+            deferred_knobs=deferred,
+        )
+
+    # -- downtime management -----------------------------------------------------
+
+    def pending_downtime_changes(self, instance_id: str) -> dict[str, float]:
+        """Restart-required knob values waiting for the next downtime."""
+        return dict(self._pending_downtime.get(instance_id, {}))
+
+    def consume_downtime_changes(self, instance_id: str) -> dict[str, float]:
+        """Pop (and return) the pending downtime changes for an instance."""
+        return self._pending_downtime.pop(instance_id, {})
+
+    # -- Fig. 9 accounting -----------------------------------------------------------
+
+    def requests_per_minute(
+        self, window_start_s: float, window_end_s: float
+    ) -> float:
+        """Mean tuning requests per minute inside a time window."""
+        if window_end_s <= window_start_s:
+            raise ValueError("window_end_s must exceed window_start_s")
+        count = sum(
+            1 for t in self.request_times if window_start_s <= t < window_end_s
+        )
+        return count / ((window_end_s - window_start_s) / 60.0)
+
+    @property
+    def total_requests(self) -> int:
+        return len(self.request_times)

@@ -1,0 +1,72 @@
+"""Load balancing of tuning requests across tuner instances (§2).
+
+"The config director performs load balancing of recommendation request
+tasks across multiple tuner instances." Tuner instances differ hugely in
+recommendation cost (a GPR retrain vs an actor forward pass), so the
+balancer tracks each instance's outstanding work in estimated seconds and
+routes every request to the least-loaded instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tuners.base import Tuner
+
+__all__ = ["TunerInstance", "LeastLoadedBalancer"]
+
+
+@dataclass
+class TunerInstance:
+    """One deployed tuner with its load accounting."""
+
+    instance_id: str
+    tuner: Tuner
+    outstanding_s: float = 0.0
+    requests_served: int = 0
+
+    def busy_fraction(self, capacity_s: float) -> float:
+        """Outstanding work relative to *capacity_s* of queue budget."""
+        if capacity_s <= 0:
+            raise ValueError("capacity_s must be positive")
+        return self.outstanding_s / capacity_s
+
+
+class LeastLoadedBalancer:
+    """Routes each request to the tuner instance with least queued work."""
+
+    def __init__(self, instances: list[TunerInstance]) -> None:
+        if not instances:
+            raise ValueError("need at least one tuner instance")
+        ids = [inst.instance_id for inst in instances]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate tuner instance ids")
+        self.instances = list(instances)
+
+    def pick(self) -> TunerInstance:
+        """The instance that would finish a new request soonest."""
+        return min(self.instances, key=lambda inst: inst.outstanding_s)
+
+    def assign(self) -> TunerInstance:
+        """Pick an instance and charge it its recommendation cost."""
+        instance = self.pick()
+        instance.outstanding_s += instance.tuner.recommendation_cost_s()
+        instance.requests_served += 1
+        return instance
+
+    def drain(self, elapsed_s: float) -> None:
+        """Let *elapsed_s* of queued work complete on every instance."""
+        if elapsed_s < 0:
+            raise ValueError("elapsed_s must be >= 0")
+        for instance in self.instances:
+            instance.outstanding_s = max(0.0, instance.outstanding_s - elapsed_s)
+
+    def total_outstanding_s(self) -> float:
+        """Queued work across all instances."""
+        return sum(inst.outstanding_s for inst in self.instances)
+
+    def saturated(self, capacity_s: float) -> bool:
+        """Whether every instance has more than *capacity_s* queued."""
+        return all(
+            inst.outstanding_s > capacity_s for inst in self.instances
+        )

@@ -1,0 +1,50 @@
+"""Throttling Detection Engine: the paper's §3 contribution."""
+
+from repro.core.tde.bgwriter_detector import (
+    BgwriterThrottleDetector,
+    checkpoint_latency_ratio,
+)
+from repro.core.tde.engine import TDEReport, ThrottlingDetectionEngine
+from repro.core.tde.entropy import (
+    QUERY_CLASSES,
+    EntropyFilter,
+    QueryClassHistogram,
+    classify_query,
+    normalized_entropy,
+)
+from repro.core.tde.learned_detector import LabelledWindow, LearnedThrottleDetector
+from repro.core.tde.mdp import AutomatonStep, LearningAutomaton
+from repro.core.tde.memory_detector import MemoryDetectionReport, MemoryThrottleDetector
+from repro.core.tde.planner_detector import EpisodeResult, PlannerThrottleDetector
+from repro.core.tde.throttle import PlanUpgradeRequest, Throttle, ThrottleLog
+from repro.core.tde.workload_change import (
+    WorkloadChange,
+    WorkloadChangeDetector,
+    hellinger_distance,
+)
+
+__all__ = [
+    "AutomatonStep",
+    "BgwriterThrottleDetector",
+    "EntropyFilter",
+    "EpisodeResult",
+    "LabelledWindow",
+    "LearnedThrottleDetector",
+    "LearningAutomaton",
+    "MemoryDetectionReport",
+    "MemoryThrottleDetector",
+    "PlanUpgradeRequest",
+    "PlannerThrottleDetector",
+    "QUERY_CLASSES",
+    "QueryClassHistogram",
+    "TDEReport",
+    "Throttle",
+    "ThrottleLog",
+    "ThrottlingDetectionEngine",
+    "WorkloadChange",
+    "WorkloadChangeDetector",
+    "checkpoint_latency_ratio",
+    "classify_query",
+    "hellinger_distance",
+    "normalized_entropy",
+]

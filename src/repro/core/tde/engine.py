@@ -1,0 +1,124 @@
+"""The Throttling Detection Engine — the paper's central contribution.
+
+The TDE "gets periodically executed on the database master VM (like a
+plugin)" (§2): once per monitoring window it runs the three class
+detectors over the window's observables and emits throttles. The config
+director turns throttles into tuning requests; no throttle, no request —
+that event-driven break from periodic polling is what Fig. 9 measures.
+
+The TDE is also the sample-quality gate: a window that raised a throttle
+is a *high-quality* sample worth uploading to the tuner repository; a
+quiet window is not (Figs. 12–13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.tde.bgwriter_detector import BgwriterThrottleDetector
+from repro.core.tde.memory_detector import MemoryThrottleDetector
+from repro.core.tde.planner_detector import PlannerThrottleDetector
+from repro.core.tde.throttle import PlanUpgradeRequest, Throttle, ThrottleLog
+from repro.dbsim.engine import ExecutionResult, SimulatedDatabase
+from repro.dbsim.knobs import KnobClass
+from repro.tuners.repository import WorkloadRepository
+
+__all__ = ["TDEReport", "ThrottlingDetectionEngine"]
+
+
+@dataclass
+class TDEReport:
+    """Everything one TDE round produced."""
+
+    throttles: list[Throttle] = field(default_factory=list)
+    escalations: list[PlanUpgradeRequest] = field(default_factory=list)
+
+    @property
+    def needs_tuning(self) -> bool:
+        """Whether this window should trigger a tuning request.
+
+        Restart-required throttles (buffer gauging) do not count: the
+        config director only collects them and acts at scheduled downtime
+        (§3.1), so they must not generate per-window recommendation load.
+        """
+        return any(not t.requires_restart for t in self.throttles)
+
+    @property
+    def restart_required_throttles(self) -> list[Throttle]:
+        """Throttles that can only be acted on at scheduled downtime."""
+        return [t for t in self.throttles if t.requires_restart]
+
+    def classes(self) -> set[KnobClass]:
+        """Knob classes implicated this round."""
+        return {t.knob_class for t in self.throttles}
+
+
+class ThrottlingDetectionEngine:
+    """Per-instance TDE plugin composing the three §3 detectors.
+
+    Parameters
+    ----------
+    instance_id:
+        The database service instance this TDE watches.
+    db:
+        The master-node database (for EXPLAIN probes and knob caps).
+    repository:
+        Shared tuner repository — the bgwriter detector reads baselines
+        from it.
+    enabled_classes:
+        Restrict detection to a subset of knob classes (ablations,
+        Fig. 14's per-class analysis).
+    planner_trigger_every:
+        Run the planner MDP probe every N-th window ("interval of 2 to 4
+        minutes" against 30–60 s monitoring windows).
+    """
+
+    def __init__(
+        self,
+        instance_id: str,
+        db: SimulatedDatabase,
+        repository: WorkloadRepository | None = None,
+        enabled_classes: set[KnobClass] | None = None,
+        planner_trigger_every: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if planner_trigger_every < 1:
+            raise ValueError("planner_trigger_every must be >= 1")
+        self.instance_id = instance_id
+        self.db = db
+        self.repository = repository if repository is not None else WorkloadRepository()
+        self.enabled_classes = (
+            set(enabled_classes) if enabled_classes is not None else set(KnobClass)
+        )
+        self.planner_trigger_every = planner_trigger_every
+        self.memory_detector = MemoryThrottleDetector(instance_id, seed=seed)
+        self.bgwriter_detector = BgwriterThrottleDetector(
+            instance_id, self.repository
+        )
+        self.planner_detector = PlannerThrottleDetector.for_database(
+            instance_id, db, seed=seed
+        )
+        self.log = ThrottleLog()
+        self._window_index = 0
+
+    def inspect(self, result: ExecutionResult) -> TDEReport:
+        """Run one TDE round over an executed window."""
+        report = TDEReport()
+        if KnobClass.MEMORY in self.enabled_classes:
+            memory = self.memory_detector.inspect(self.db, result)
+            report.throttles.extend(memory.throttles)
+            report.escalations.extend(memory.escalations)
+        if KnobClass.BGWRITER in self.enabled_classes:
+            report.throttles.extend(self.bgwriter_detector.inspect(result))
+        run_planner = (
+            KnobClass.ASYNC_PLANNER in self.enabled_classes
+            and self._window_index % self.planner_trigger_every == 0
+        )
+        if run_planner:
+            report.throttles.extend(
+                self.planner_detector.inspect(self.db, result)
+            )
+        self._window_index += 1
+        self.log.record(report.throttles)
+        self.log.escalations.extend(report.escalations)
+        return report

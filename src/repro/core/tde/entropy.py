@@ -1,0 +1,176 @@
+"""Normalized entropy over query classes, and the §3.1 throttle filter.
+
+Queries are grouped into classes by the knob their execution stresses
+(complex aggregations → working memory, index builds/bulk deletes →
+maintenance memory, temp-table work → temp buffers, heavy writes → the
+background-writer family, point reads → none). A hash table of class
+frequencies is kept per observation window and its *normalized Shannon
+entropy* (paper eq. 2) summarises how evenly the classes fire:
+
+    η(X) = −Σ p(x_i)·log(p(x_i)) / log(n)   ∈ [0, 1]
+
+**Terminology note.** The paper's prose (§3.1) describes entropy as "less
+when ... all queries are fired with similar proportion", which inverts the
+standard definition; its *decision rule*, however — escalate to a plan
+upgrade when entropy is high *and* the memory knobs sit at their caps — is
+exactly standard entropy semantics (an even spread over throttle classes
+means tuning one knob cannot stop the throttles). We implement eq. 2 as
+written and the decision rule as stated; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.workloads.query import Query
+
+__all__ = [
+    "normalized_entropy",
+    "classify_query",
+    "QueryClassHistogram",
+    "EntropyFilter",
+    "QUERY_CLASSES",
+]
+
+#: The query classes the §3.1 hash table is keyed by.
+QUERY_CLASSES: tuple[str, ...] = (
+    "working_memory",
+    "maintenance_memory",
+    "temp_memory",
+    "write_heavy",
+    "point",
+)
+
+#: Thresholds (MB / KB) above which a query counts as stressing a class.
+_SORT_MB_THRESHOLD = 1.0
+_WRITE_KB_THRESHOLD = 8.0
+
+
+def normalized_entropy(counts: Iterable[float]) -> float:
+    """Paper eq. 2: Shannon entropy normalised by log(n) into [0, 1].
+
+    *counts* are non-negative class frequencies; zero-count classes
+    contribute nothing (lim p→0 of p·log p). Entropy over fewer than two
+    classes — or all-zero counts — is defined as 0.
+    """
+    values = [c for c in counts if c > 0]
+    n = len(values)
+    if n <= 1:
+        return 0.0
+    total = float(sum(values))
+    # p underflows to 0.0 for denormal counts next to huge ones; such a
+    # class contributes nothing (lim p→0 of p·log p = 0).
+    probabilities = [c / total for c in values]
+    h = -sum(p * math.log(p) for p in probabilities if p > 0.0)
+    return min(1.0, h / math.log(n))
+
+
+def classify_query(query: Query) -> str:
+    """The query class whose knob this query stresses most.
+
+    Priority order follows the paper's examples: maintenance operations
+    (index create/drop, bulk deletes) and temp-table work are rarer and
+    more diagnostic than generic sorts, so they win ties.
+    """
+    fp = query.footprint
+    if fp.maintenance_mb > 0.0:
+        return "maintenance_memory"
+    if fp.temp_mb > 0.0:
+        return "temp_memory"
+    if fp.sort_mb >= _SORT_MB_THRESHOLD:
+        return "working_memory"
+    if fp.write_kb >= _WRITE_KB_THRESHOLD:
+        return "write_heavy"
+    return "point"
+
+
+class QueryClassHistogram:
+    """The per-window hash table of query-class frequencies (§3.1)."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def observe(self, query: Query) -> str:
+        """Classify and count one query; returns the class."""
+        cls = classify_query(query)
+        self._counts[cls] += 1
+        return cls
+
+    def observe_many(self, queries: Iterable[Query]) -> None:
+        for query in queries:
+            self.observe(query)
+
+    def counts(self) -> dict[str, int]:
+        """Frequencies over all defined classes (zero-filled)."""
+        return {cls: self._counts.get(cls, 0) for cls in QUERY_CLASSES}
+
+    def entropy(self) -> float:
+        """Normalized entropy of the class distribution."""
+        return normalized_entropy(self._counts.values())
+
+    def frequency(self, cls: str) -> float:
+        """Relative frequency of *cls* (0 if nothing observed)."""
+        total = sum(self._counts.values())
+        if total == 0:
+            return 0.0
+        return self._counts.get(cls, 0) / total
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+
+class EntropyFilter:
+    """§3.1's escalation filter over consecutive memory throttles.
+
+    After :attr:`trigger_count` consecutive throttles the entropy of the
+    query-class histogram is evaluated:
+
+    - entropy ≥ :attr:`entropy_threshold` **and** the implicated knobs at
+      their cap → the throttles cannot be tuned away; escalate to a plan
+      upgrade and suppress the tuning request;
+    - otherwise → predict the throttles will subside; reset the counter
+      and wait for the next :attr:`trigger_count` throttles.
+    """
+
+    def __init__(
+        self, trigger_count: int = 8, entropy_threshold: float = 0.75
+    ) -> None:
+        if trigger_count < 1:
+            raise ValueError("trigger_count must be >= 1")
+        if not 0.0 <= entropy_threshold <= 1.0:
+            raise ValueError("entropy_threshold must be in [0, 1]")
+        self.trigger_count = trigger_count
+        self.entropy_threshold = entropy_threshold
+        self._consecutive = 0
+        self.last_entropy: float | None = None
+        self.entropy_hits = 0
+
+    @property
+    def consecutive(self) -> int:
+        """Current consecutive-throttle count."""
+        return self._consecutive
+
+    def record_quiet_window(self) -> None:
+        """A window without memory throttles breaks the streak."""
+        self._consecutive = 0
+
+    def should_escalate(
+        self, histogram: QueryClassHistogram, knobs_at_cap: bool
+    ) -> bool:
+        """Record one throttle; True if it should become a plan upgrade.
+
+        Call once per memory throttle raised. Only evaluates entropy at
+        every :attr:`trigger_count`-th consecutive throttle, per §3.1's
+        "if more than 8 throttles are triggered consecutively".
+        """
+        self._consecutive += 1
+        if self._consecutive < self.trigger_count:
+            return False
+        self._consecutive = 0
+        self.last_entropy = histogram.entropy()
+        if self.last_entropy >= self.entropy_threshold and knobs_at_cap:
+            self.entropy_hits += 1
+            return True
+        return False

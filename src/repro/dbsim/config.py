@@ -1,0 +1,235 @@
+"""Knob configurations: validated knob→value mappings.
+
+A :class:`KnobConfiguration` binds a :class:`~repro.dbsim.knobs.KnobCatalog`
+to concrete values, validating ranges and exposing the §4 memory-budget
+check ``A + B + C + D < X`` (buffer pool plus per-connection working areas
+must fit in the memory granted to the database process).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.dbsim.knobs import KnobCatalog, KnobClass
+
+__all__ = ["KnobConfiguration", "MemoryBudgetError", "effective_sessions"]
+
+#: Fraction of active connections assumed to run memory-hungry operations
+#: (sorts, index builds) simultaneously. Charging every connection its full
+#: working area would make almost the whole knob space infeasible; real
+#: capacity planning uses a concurrency discount like this.
+_CONCURRENCY_FACTOR = 0.25
+
+
+def effective_sessions(active_connections: int) -> float:
+    """Concurrent memory-hungry sessions implied by *active_connections*."""
+    if active_connections < 1:
+        raise ValueError("active_connections must be >= 1")
+    return max(1.0, active_connections * _CONCURRENCY_FACTOR)
+
+
+class MemoryBudgetError(ValueError):
+    """Raised when a configuration cannot fit in the process memory budget."""
+
+
+class KnobConfiguration:
+    """Immutable-by-convention mapping of knob name to value.
+
+    Use :meth:`with_values` to derive modified configurations; detectors
+    and tuners never mutate a configuration in place.
+    """
+
+    def __init__(
+        self, catalog: KnobCatalog, values: Mapping[str, float] | None = None
+    ) -> None:
+        self.catalog = catalog
+        self._values = catalog.defaults()
+        if values:
+            for name, value in values.items():
+                knob = catalog.get(name)
+                if not knob.min_value <= value <= knob.max_value:
+                    raise ValueError(
+                        f"{name}={value} outside [{knob.min_value}, {knob.max_value}]"
+                    )
+                self._values[name] = float(value)
+
+    def __getitem__(self, name: str) -> float:
+        self.catalog.get(name)  # raise a flavour-aware KeyError if unknown
+        return self._values[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KnobConfiguration):
+            return NotImplemented
+        return (
+            self.catalog.flavor == other.catalog.flavor
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.catalog.flavor, tuple(sorted(self._values.items()))))
+
+    def as_dict(self) -> dict[str, float]:
+        """Copy of all knob values."""
+        return dict(self._values)
+
+    def with_values(self, updates: Mapping[str, float]) -> "KnobConfiguration":
+        """A new configuration with *updates* applied (and validated)."""
+        merged = dict(self._values)
+        merged.update(updates)
+        return KnobConfiguration(self.catalog, merged)
+
+    def clamped(self, updates: Mapping[str, float]) -> "KnobConfiguration":
+        """Like :meth:`with_values` but clamping out-of-range values."""
+        merged = dict(self._values)
+        for name, value in updates.items():
+            merged[name] = self.catalog.get(name).clamp(value)
+        return KnobConfiguration(self.catalog, merged)
+
+    def diff(self, other: "KnobConfiguration") -> dict[str, tuple[float, float]]:
+        """Knobs whose values differ, as ``{name: (self_value, other_value)}``."""
+        out: dict[str, tuple[float, float]] = {}
+        for name, value in self._values.items():
+            other_value = other._values.get(name)
+            if other_value is not None and other_value != value:
+                out[name] = (value, other_value)
+        return out
+
+    # -- memory budget (§4: A + B + C + D < X) --------------------------------
+
+    def buffer_pool_mb(self) -> float:
+        """The non-tunable buffer-pool knob's value (A in the §4 equation)."""
+        name = (
+            "shared_buffers"
+            if self.catalog.flavor == "postgres"
+            else "innodb_buffer_pool_size"
+        )
+        return self._values[name]
+
+    def working_area_mb(self) -> float:
+        """Sum of the tunable memory knobs (B + C + D …)."""
+        total = 0.0
+        for knob in self.catalog.memory_budget_knobs():
+            if not knob.restart_required:
+                total += self._values[knob.name]
+        return total
+
+    def memory_footprint_mb(self, active_connections: int = 1) -> float:
+        """Estimated process footprint with *active_connections* sessions.
+
+        The buffer pool is shared; working areas are charged per
+        *effective* concurrent session (see :func:`effective_sessions`),
+        matching how PostgreSQL's ``work_mem`` family multiplies under
+        concurrency.
+        """
+        return (
+            self.buffer_pool_mb()
+            + self._restart_memory_mb()
+            + self.working_area_mb() * effective_sessions(active_connections)
+        )
+
+    def _restart_memory_mb(self) -> float:
+        return sum(
+            self._values[k.name]
+            for k in self.catalog.memory_budget_knobs()
+            if k.restart_required and k.name != self._buffer_name()
+        )
+
+    def _buffer_name(self) -> str:
+        return (
+            "shared_buffers"
+            if self.catalog.flavor == "postgres"
+            else "innodb_buffer_pool_size"
+        )
+
+    def check_memory_budget(
+        self, memory_limit_mb: float, active_connections: int = 1
+    ) -> None:
+        """Raise :class:`MemoryBudgetError` if the footprint exceeds the limit."""
+        footprint = self.memory_footprint_mb(active_connections)
+        if footprint >= memory_limit_mb:
+            raise MemoryBudgetError(
+                f"configured memory {footprint:.0f} MB >= limit "
+                f"{memory_limit_mb:.0f} MB "
+                f"(buffer {self.buffer_pool_mb():.0f} MB + working areas "
+                f"{self.working_area_mb():.0f} MB x {active_connections})"
+            )
+
+    def fitted_to_budget(
+        self,
+        memory_limit_mb: float,
+        active_connections: int = 1,
+        headroom: float = 0.95,
+        buffer_share: float = 0.7,
+    ) -> "KnobConfiguration":
+        """A copy repaired to fit the §4 memory budget.
+
+        Policy: the buffer pool may take at most ``buffer_share`` of the
+        budget (shrunk if above); the tunable working-area knobs are then
+        scaled down uniformly until the per-session charge fits in the
+        remainder. Knob minimums are always respected, so an impossibly
+        small budget yields the closest legal configuration rather than an
+        exception.
+        """
+        budget = memory_limit_mb * headroom
+        sessions = effective_sessions(active_connections)
+        updates: dict[str, float] = {}
+
+        buffer_name = self._buffer_name()
+        buffer_knob = self.catalog.get(buffer_name)
+        buffer_mb = min(self.buffer_pool_mb(), buffer_share * budget)
+        buffer_mb = buffer_knob.clamp(buffer_mb)
+        if buffer_mb != self.buffer_pool_mb():
+            updates[buffer_name] = buffer_mb
+
+        allowed = max(0.0, budget - buffer_mb)
+        shrinkable = [
+            k
+            for k in self.catalog.memory_budget_knobs()
+            if k.name != buffer_name
+        ]
+        # Per-MB charge against the budget: working areas multiply per
+        # effective session, restart-required pools (wal_buffers) count once.
+        weight = {
+            k.name: (1.0 if k.restart_required else sessions) for k in shrinkable
+        }
+        values = {k.name: self._values[k.name] for k in shrinkable}
+        # Uniform scaling can undershoot when some knobs clamp at their
+        # minimum; iterate, redistributing the shortfall onto the knobs
+        # that still have headroom above their floors.
+        for _ in range(6):
+            charge = sum(values[n] * weight[n] for n in values)
+            if charge <= allowed:
+                break
+            reducible = sum(
+                (values[k.name] - k.min_value) * weight[k.name] for k in shrinkable
+            )
+            if reducible <= 1e-12:
+                break
+            shrink = min(1.0, (charge - allowed) / reducible)
+            for knob in shrinkable:
+                excess = values[knob.name] - knob.min_value
+                values[knob.name] = knob.clamp(
+                    values[knob.name] - excess * shrink
+                )
+        for name, value in values.items():
+            if value != self._values[name]:
+                updates[name] = value
+        if not updates:
+            return self
+        return self.with_values(updates)
+
+    def values_for_class(self, knob_class: KnobClass) -> dict[str, float]:
+        """Values of the knobs belonging to *knob_class*."""
+        return {
+            k.name: self._values[k.name] for k in self.catalog.by_class(knob_class)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        changed = {
+            n: v for n, v in self._values.items()
+            if v != self.catalog.get(n).default
+        }
+        return f"KnobConfiguration({self.catalog.flavor}, changed={changed})"

@@ -1,0 +1,447 @@
+"""The simulated relational database service instance.
+
+:class:`SimulatedDatabase` is the substrate standing in for PostgreSQL 9.6
+/ MySQL 5.6 in the paper's evaluation. It composes the memory, storage,
+write-back, planner and executor models into a single
+``run(batch) → ExecutionResult`` step, and exposes the management surface
+AutoDBaaS needs: EXPLAIN for the TDE, config apply via reload or restart
+(with the §4 crash-on-bad-config behaviour replication relies on), and a
+cumulative clock so multi-window experiments are continuous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.hardware import VMType, vm_type
+from repro.common.rng import make_rng
+from repro.dbsim.bgwriter import WriteBackResult, WriteBackScheduler
+from repro.dbsim.config import KnobConfiguration, MemoryBudgetError
+from repro.dbsim.executor import ExecutionSummary, run_batch
+from repro.dbsim.knobs import catalog_for
+from repro.dbsim.memory import SpillReport, buffer_hit_ratio, compute_spills, swap_factor
+from repro.dbsim.metrics import MetricsDelta
+from repro.dbsim.planner import PlanEstimate, PlannerModel
+from repro.dbsim.storage import DiskSimulator, DiskTraffic, DiskWindowResult
+from repro.workloads.generator import WorkloadBatch
+from repro.workloads.query import Query, QueryType
+
+__all__ = ["ApplyOutcome", "DatabaseCrashed", "ExecutionResult", "SimulatedDatabase"]
+
+#: Page sizes per flavor (PostgreSQL 8 KB, InnoDB 16 KB).
+_PAGE_KB_BY_FLAVOR = {"postgres": 8.0, "mysql": 16.0}
+#: Write-back and spill I/O is coalesced into blocks of this size.
+_SEQUENTIAL_BLOCK_KB = 64.0
+#: Seconds of unavailability a full process restart costs.
+RESTART_DOWNTIME_S = 12.0
+#: Post-restart buffer-pool warm-up: hit-ratio multipliers for the first
+#: windows after the pool comes back empty.
+_COLD_CACHE_FACTORS = (0.3, 0.8)
+#: Socket activation keeps the port open but caches requests; the drain
+#: afterwards causes "a lot of jitter" (§4) — modelled as degraded seconds.
+SOCKET_ACTIVATION_JITTER_S = 6.0
+
+
+class DatabaseCrashed(RuntimeError):
+    """The database process died (e.g. restart with an over-budget config)."""
+
+
+@dataclass
+class ApplyOutcome:
+    """Result of applying a configuration."""
+
+    applied: dict[str, float]
+    skipped_restart_required: list[str]
+    restarted: bool
+
+
+@dataclass
+class ExecutionResult:
+    """Everything observable from one executed window."""
+
+    batch: WorkloadBatch
+    config: KnobConfiguration
+    start_time_s: float
+    duration_s: float
+    summary: ExecutionSummary
+    metrics: MetricsDelta
+    data_disk: DiskWindowResult
+    wal_disk: DiskWindowResult
+    writeback: WriteBackResult
+    spill: SpillReport
+    hit_ratio: float
+    swap: float
+    plan_estimates: list[PlanEstimate] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        return self.summary.achieved_tps
+
+    @property
+    def latency_ms(self) -> float:
+        return self.summary.avg_latency_ms
+
+
+class SimulatedDatabase:
+    """One database service instance on one VM.
+
+    Parameters
+    ----------
+    flavor:
+        ``"postgres"`` or ``"mysql"``.
+    vm:
+        VM type name or :class:`~repro.cloud.vm.VMType`.
+    data_size_gb:
+        Loaded data volume.
+    active_connections:
+        Concurrent sessions charged per-connection working areas.
+    seed:
+        Seed for all stochastic behaviour of this instance.
+    """
+
+    def __init__(
+        self,
+        flavor: str = "postgres",
+        vm: str | VMType = "m4.large",
+        data_size_gb: float = 20.0,
+        active_connections: int = 20,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.flavor = flavor
+        self.catalog = catalog_for(flavor)
+        self.vm = vm_type(vm) if isinstance(vm, str) else vm
+        self.data_size_gb = data_size_gb
+        self.active_connections = active_connections
+        self._rng = make_rng(seed)
+        self.config = KnobConfiguration(self.catalog)
+        self.clock_s = 0.0
+        self.crashed = False
+        self._scheduler = WriteBackScheduler()
+        self._data_disk = DiskSimulator(self.vm.disk, "data")
+        self._wal_disk = DiskSimulator(self.vm.disk, "wal")
+        self._planner = PlannerModel(flavor, "generic", self.vm)
+        self._pending_stall_s = 0.0
+        self._reloads_this_window = 0
+        self._cold_windows = 0
+        self.history: list[ExecutionResult] = []
+        self.keep_history = False
+
+    # -- configuration management ---------------------------------------------
+
+    def apply_config(
+        self, new_config: KnobConfiguration, mode: str = "reload"
+    ) -> ApplyOutcome:
+        """Apply *new_config* via ``"reload"``, ``"restart"`` or ``"socket"``.
+
+        ``reload`` (SIGHUP-style) applies only knobs that do not require a
+        restart and adds negligible jitter. ``restart`` applies everything
+        at the cost of :data:`RESTART_DOWNTIME_S` seconds of downtime and
+        crashes the process if the configuration violates the VM memory
+        budget. ``socket`` is restart behind systemd socket activation:
+        the port stays open (requests cached) but draining the cache adds
+        :data:`SOCKET_ACTIVATION_JITTER_S` seconds of degraded service.
+        """
+        if self.crashed:
+            raise DatabaseCrashed("cannot apply config to a crashed instance")
+        if new_config.catalog.flavor != self.flavor:
+            raise ValueError(
+                f"config flavor {new_config.catalog.flavor!r} != {self.flavor!r}"
+            )
+        if mode == "reload":
+            skipped = [
+                k.name
+                for k in self.catalog.restart_required_knobs()
+                if new_config[k.name] != self.config[k.name]
+            ]
+            merged = new_config.as_dict()
+            for name in skipped:
+                merged[name] = self.config[name]
+            self.config = KnobConfiguration(self.catalog, merged)
+            self._reloads_this_window += 1
+            return ApplyOutcome(
+                applied={
+                    n: v for n, v in merged.items() if n not in skipped
+                },
+                skipped_restart_required=skipped,
+                restarted=False,
+            )
+        if mode in ("restart", "socket"):
+            try:
+                new_config.check_memory_budget(
+                    self.vm.db_memory_limit_mb, self.active_connections
+                )
+            except MemoryBudgetError as exc:
+                self.crashed = True
+                raise DatabaseCrashed(str(exc)) from exc
+            self.config = new_config
+            # The shutdown checkpoint writes the dirty backlog out before
+            # the process exits — a dirty database takes longer to stop.
+            shutdown_s = self._scheduler.dirty_backlog_mb / (
+                0.8 * self.vm.disk.throughput_mb_s
+            )
+            self._scheduler.reset()
+            self._pending_stall_s += shutdown_s + (
+                SOCKET_ACTIVATION_JITTER_S if mode == "socket" else RESTART_DOWNTIME_S
+            )
+            # The buffer pool comes back empty: the next windows run on a
+            # cold cache until the working set is re-read.
+            self._cold_windows = len(_COLD_CACHE_FACTORS)
+            return ApplyOutcome(
+                applied=new_config.as_dict(),
+                skipped_restart_required=[],
+                restarted=True,
+            )
+        raise ValueError(f"unknown apply mode {mode!r}")
+
+    def heal(self) -> None:
+        """Bring a crashed instance back up (operator intervention)."""
+        self.crashed = False
+        self._scheduler.reset()
+        self._pending_stall_s += RESTART_DOWNTIME_S
+        self._cold_windows = len(_COLD_CACHE_FACTORS)
+
+    # -- observation surface ---------------------------------------------------
+
+    def explain(
+        self,
+        query: Query,
+        config: KnobConfiguration | None = None,
+        noisy: bool = False,
+    ) -> PlanEstimate:
+        """EXPLAIN *query* under *config* (default: the live configuration).
+
+        Passing a hypothetical configuration is how the TDE's MDP probes
+        planner cost/benefit without touching the live knobs (§3.3). Like
+        a real planner, the estimate is deterministic for fixed inputs;
+        ``noisy=True`` adds estimation error for consumers that want to
+        model stale statistics.
+        """
+        rng = self._rng if noisy else None
+        return self._planner.explain(query, config or self.config, rng=rng)
+
+    def explain_many(
+        self,
+        queries: list[Query],
+        config: KnobConfiguration | None = None,
+        noisy: bool = False,
+    ) -> list[PlanEstimate]:
+        """EXPLAIN each query in *queries* under *config* (default live)."""
+        return [self.explain(q, config, noisy) for q in queries]
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, batch: WorkloadBatch) -> ExecutionResult:
+        """Execute *batch*, advance the clock, and return the observables."""
+        if self.crashed:
+            raise DatabaseCrashed("instance is down")
+        duration = max(1, int(round(batch.duration_s)))
+        self._planner = PlannerModel(self.flavor, batch.workload_name, self.vm)
+
+        spill = compute_spills(batch, self.config)
+        swap = swap_factor(self.config, self.vm, self.active_connections)
+        hit_ratio = buffer_hit_ratio(self.config.buffer_pool_mb(), self.data_size_gb)
+        if self._cold_windows > 0:
+            factor = _COLD_CACHE_FACTORS[len(_COLD_CACHE_FACTORS) - self._cold_windows]
+            hit_ratio *= factor
+            self._cold_windows -= 1
+
+        dirty_mb = sum(
+            count * batch.families[name].footprint.write_kb / 1024.0
+            for name, count in batch.counts.items()
+        )
+        writeback = self._scheduler.run_window(
+            self.config, dirty_mb, duration, start_time_s=self.clock_s
+        )
+
+        traffic = self._build_traffic(batch, spill, writeback, hit_ratio, duration)
+        stall = min(self._pending_stall_s, float(duration))
+        self._pending_stall_s -= stall
+        if stall > 0.0:
+            self._apply_stall(traffic, stall)
+
+        data_result = self._data_disk.simulate(
+            traffic, start_time_s=self.clock_s, rng=self._rng
+        )
+        wal_traffic = DiskTraffic(
+            read_mb_s=np.zeros(duration),
+            write_mb_s=writeback.wal_write_mb_s,
+            read_iops=np.zeros(duration),
+            # WAL is an append-only sequential stream.
+            write_iops=writeback.wal_write_mb_s / (_SEQUENTIAL_BLOCK_KB / 1024.0),
+        )
+        wal_result = self._wal_disk.simulate(
+            wal_traffic, start_time_s=self.clock_s, rng=self._rng
+        )
+
+        commit_latency = wal_result.write_latency.mean()
+        data_latency_factor = max(
+            1.0, data_result.write_latency.mean() / self.vm.disk.base_latency_ms
+        )
+        summary = run_batch(
+            batch,
+            self.config,
+            self.vm,
+            hit_ratio,
+            self._planner,
+            spill,
+            commit_latency,
+            data_latency_factor,
+            swap,
+        )
+        summary = self._charge_disruption(summary, stall, duration)
+
+        plans = self.explain_many(batch.sampled_queries[:32])
+        metrics = self._assemble_metrics(
+            batch, summary, spill, writeback, data_result, hit_ratio, swap, plans
+        )
+        result = ExecutionResult(
+            batch=batch,
+            config=self.config,
+            start_time_s=self.clock_s,
+            duration_s=float(duration),
+            summary=summary,
+            metrics=metrics,
+            data_disk=data_result,
+            wal_disk=wal_result,
+            writeback=writeback,
+            spill=spill,
+            hit_ratio=hit_ratio,
+            swap=swap,
+            plan_estimates=plans,
+        )
+        self.clock_s += duration
+        self._reloads_this_window = 0
+        if self.keep_history:
+            self.history.append(result)
+        return result
+
+    # -- internals ---------------------------------------------------------------
+
+    def _build_traffic(
+        self,
+        batch: WorkloadBatch,
+        spill: SpillReport,
+        writeback: WriteBackResult,
+        hit_ratio: float,
+        duration: int,
+    ) -> DiskTraffic:
+        """Per-second data-disk demand.
+
+        Buffer misses are random page reads (8 KB per IO); spill I/O and
+        write-back (bgwriter/checkpoint/backend) are coalesced into large
+        sequential blocks, so they cost bandwidth but few IOPS — the mix
+        real engines produce.
+        """
+        total_read_mb = sum(
+            count * batch.families[name].footprint.read_kb / 1024.0
+            for name, count in batch.counts.items()
+        )
+        miss_mb_s = total_read_mb * (1.0 - hit_ratio) / duration
+        spill_half_mb_s = (spill.spill_read_write_mb / 2.0) / duration
+        read_mb_s = np.full(duration, miss_mb_s + spill_half_mb_s)
+        write_mb_s = writeback.data_write_mb_s + spill_half_mb_s
+        page_mb = _PAGE_KB_BY_FLAVOR[self.flavor] / 1024.0
+        seq_mb = _SEQUENTIAL_BLOCK_KB / 1024.0
+        read_iops = np.full(
+            duration, miss_mb_s / page_mb + spill_half_mb_s / seq_mb
+        )
+        return DiskTraffic(
+            read_mb_s=read_mb_s,
+            write_mb_s=write_mb_s,
+            read_iops=read_iops,
+            write_iops=write_mb_s / seq_mb,
+        )
+
+    @staticmethod
+    def _apply_stall(traffic: DiskTraffic, stall_s: float) -> None:
+        """Zero out query-driven traffic during the stall at window start."""
+        n = min(int(round(stall_s)), traffic.seconds)
+        for array in (
+            traffic.read_mb_s,
+            traffic.write_mb_s,
+            traffic.read_iops,
+            traffic.write_iops,
+        ):
+            array[:n] = 0.0
+
+    @staticmethod
+    def _charge_disruption(
+        summary: ExecutionSummary, stall_s: float, duration: int
+    ) -> ExecutionSummary:
+        if stall_s <= 0.0:
+            return summary
+        available = max(0.0, 1.0 - stall_s / duration)
+        return ExecutionSummary(
+            total_queries=summary.total_queries,
+            offered_tps=summary.offered_tps,
+            achieved_tps=summary.achieved_tps * available,
+            avg_latency_ms=summary.avg_latency_ms * (1.0 + stall_s / duration),
+            cpu_utilisation=summary.cpu_utilisation,
+            demand_cpu_ms=summary.demand_cpu_ms,
+        )
+
+    def _assemble_metrics(
+        self,
+        batch: WorkloadBatch,
+        summary: ExecutionSummary,
+        spill: SpillReport,
+        writeback: WriteBackResult,
+        data_result: DiskWindowResult,
+        hit_ratio: float,
+        swap: float,
+        plans: list[PlanEstimate],
+    ) -> MetricsDelta:
+        by_type = batch.count_by_type()
+
+        def type_count(*types: QueryType) -> float:
+            return float(sum(by_type.get(t, 0) for t in types))
+
+        total_read_mb = sum(
+            count * batch.families[name].footprint.read_kb / 1024.0
+            for name, count in batch.counts.items()
+        )
+        blks_total = total_read_mb / (_PAGE_KB_BY_FLAVOR[self.flavor] / 1024.0)
+        rows_returned = float(
+            sum(
+                count * batch.families[name].footprint.rows_returned
+                for name, count in batch.counts.items()
+            )
+        )
+        plan_cost = (
+            float(np.mean([p.total_cost for p in plans])) if plans else 0.0
+        )
+        return MetricsDelta(
+            {
+                "xact_commit": float(batch.total_queries),
+                "tup_returned": rows_returned,
+                "tup_inserted": type_count(QueryType.INSERT),
+                "tup_updated": type_count(QueryType.UPDATE),
+                "tup_deleted": type_count(QueryType.DELETE),
+                "blks_read": blks_total * (1.0 - hit_ratio),
+                "blks_hit": blks_total * hit_ratio,
+                "temp_files": float(spill.temp_files),
+                "temp_mb": spill.spill_read_write_mb / 2.0,
+                "buffers_checkpoint_mb": writeback.checkpoint_write_mb,
+                "buffers_clean_mb": writeback.bgwriter_write_mb,
+                "buffers_backend_mb": (
+                    spill.spill_read_write_mb / 2.0 + writeback.backend_write_mb
+                ),
+                "backend_flush_mb": writeback.backend_write_mb,
+                "checkpoints_timed": float(writeback.checkpoints_timed),
+                "checkpoints_requested": float(writeback.checkpoints_requested),
+                "wal_mb": float(np.sum(writeback.wal_write_mb_s)),
+                "vacuum_mb": writeback.vacuum_write_mb,
+                "disk_read_latency_ms": data_result.read_latency.mean(),
+                "disk_write_latency_ms": data_result.write_latency.mean(),
+                "disk_iops": data_result.iops.mean(),
+                "cpu_utilisation": summary.cpu_utilisation,
+                "swap_factor": swap,
+                "throughput_tps": summary.achieved_tps,
+                "avg_latency_ms": summary.avg_latency_ms,
+                "planner_cost_mean": plan_cost,
+                "planner_distance": self._planner.distance(self.config),
+                "window_s": batch.duration_s,
+            }
+        )

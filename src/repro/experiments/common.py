@@ -1,0 +1,98 @@
+"""Shared experiment plumbing: offline training sessions, table printing.
+
+Every §5 experiment starts from tuners trained "as per their standard
+ways": offline tuning sessions that sweep random configurations over the
+benchmark workloads and record high-quality samples. :func:`offline_train`
+reproduces that bootstrap; the figure modules build on it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.common.rng import derive_rng, make_rng
+from repro.dbsim.engine import DatabaseCrashed, SimulatedDatabase
+from repro.dbsim.knobs import KnobCatalog
+from repro.tuners.base import TrainingSample, vector_to_config
+from repro.tuners.repository import WorkloadRepository
+from repro.workloads.generator import WorkloadGenerator
+
+__all__ = ["offline_train", "offline_session", "format_table", "STRESS_RPS"]
+
+#: Offered rate used in offline sessions so throughput measures capacity.
+STRESS_RPS = 12_000.0
+
+
+def offline_session(
+    repository: WorkloadRepository,
+    workload: WorkloadGenerator,
+    catalog: KnobCatalog,
+    n_configs: int = 20,
+    vm: str = "m4.large",
+    window_s: float = 20.0,
+    seed: int | np.random.Generator | None = 0,
+) -> None:
+    """One offline tuning session: sweep random configs, record samples.
+
+    Per configuration the database is restarted (clean write-back state),
+    warmed for one window, and measured on the next — the §1 protocol that
+    yields "high quality samples".
+    """
+    rng = make_rng(seed)
+    db = SimulatedDatabase(
+        catalog.flavor,
+        vm,
+        data_size_gb=workload.data_size_gb,
+        seed=derive_rng(rng, "db"),
+    )
+    for _ in range(n_configs):
+        vector = rng.uniform(0.0, 1.0, size=len(catalog))
+        config = vector_to_config(vector, catalog).fitted_to_budget(
+            db.vm.db_memory_limit_mb, db.active_connections
+        )
+        try:
+            db.apply_config(config, mode="restart")
+        except DatabaseCrashed:
+            db.heal()
+            continue
+        db.run(workload.batch(window_s, start_time_s=db.clock_s))
+        result = db.run(workload.batch(window_s, start_time_s=db.clock_s))
+        repository.add(
+            TrainingSample(
+                workload.name, config, result.metrics, timestamp_s=db.clock_s
+            )
+        )
+
+
+def offline_train(
+    catalog: KnobCatalog,
+    workloads: Sequence[WorkloadGenerator],
+    n_configs: int = 20,
+    seed: int = 0,
+) -> WorkloadRepository:
+    """Bootstrap a repository with offline sessions over *workloads*."""
+    repository = WorkloadRepository()
+    for i, workload in enumerate(workloads):
+        offline_session(
+            repository, workload, catalog, n_configs=n_configs, seed=seed + i
+        )
+    return repository
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Plain-text table, right-aligned numerics — for bench stdout."""
+    rendered = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rendered)
+    return "\n".join(out)

@@ -1,0 +1,47 @@
+"""Fig. 8 — production workload query arrival rate.
+
+The paper plots the captured customer trace's arrival rate (42.13M
+queries/day average). We regenerate the synthetic stand-in's per-hour
+arrival counts over a representative day and check the published totals.
+Expected shape: overnight trough, steep 8–11 AM ramp, midday plateau,
+evening decline; daily total ≈ 42M.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.production import ProductionWorkload
+
+__all__ = ["ArrivalPoint", "run", "daily_total"]
+
+
+@dataclass(frozen=True)
+class ArrivalPoint:
+    """Arrivals during one hour of the day."""
+
+    hour: int
+    queries: int
+    rate_per_s: float
+
+
+def run(day: int = 0, seed: int = 0) -> list[ArrivalPoint]:
+    """Hourly arrival counts for one simulated day."""
+    workload = ProductionWorkload(seed=seed)
+    points: list[ArrivalPoint] = []
+    for hour in range(24):
+        start = day * 86_400.0 + hour * 3600.0
+        batch = workload.batch(3600.0, start_time_s=start)
+        points.append(
+            ArrivalPoint(
+                hour=hour,
+                queries=batch.total_queries,
+                rate_per_s=batch.total_queries / 3600.0,
+            )
+        )
+    return points
+
+
+def daily_total(points: list[ArrivalPoint]) -> int:
+    """Total queries across the day."""
+    return sum(p.queries for p in points)

@@ -1,0 +1,105 @@
+"""Fig. 15 — accuracy of the throttling detection engine per knob class.
+
+The paper validates throttles against a trained tuner instead of a DBA:
+OtterTune is trained on TPC-C, YCSB, Wikipedia and Twitter with
+exploration minimised; when the TDE raises a throttle of class *c* on one
+of those same workloads, the throttle counts as accurate iff the majority
+of OtterTune's top-5 ranked knobs for that workload belong to class *c*.
+Expected shape: high accuracy for memory and background-writer throttles,
+lower for async/planner — because OtterTune's metric set contains no
+planner estimates (see :data:`repro.dbsim.metrics.OTTERTUNE_METRICS`), it
+cannot attribute importance to that class even when the TDE is right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.tde.engine import ThrottlingDetectionEngine
+from repro.dbsim.engine import SimulatedDatabase
+from repro.dbsim.knobs import KnobClass, postgres_catalog
+from repro.experiments.common import offline_train
+from repro.tuners.ottertune import OtterTuneTuner
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.tpcc import TPCCWorkload
+from repro.workloads.twitter import TwitterWorkload
+from repro.workloads.wikipedia import WikipediaWorkload
+from repro.workloads.ycsb import YCSBWorkload
+
+__all__ = ["AccuracyResult", "run"]
+
+
+@dataclass
+class AccuracyResult:
+    """Throttle-accuracy tally per knob class."""
+
+    accurate: dict[str, int] = field(default_factory=dict)
+    total: dict[str, int] = field(default_factory=dict)
+
+    def record(self, knob_class: str, is_accurate: bool) -> None:
+        self.total[knob_class] = self.total.get(knob_class, 0) + 1
+        if is_accurate:
+            self.accurate[knob_class] = self.accurate.get(knob_class, 0) + 1
+
+    def accuracy(self, knob_class: str) -> float | None:
+        total = self.total.get(knob_class, 0)
+        if total == 0:
+            return None
+        return self.accurate.get(knob_class, 0) / total
+
+
+def _majority_class(
+    ranked_knobs: list[str], catalog, top_k: int = 5
+) -> str | None:
+    counts: dict[str, int] = {}
+    for name in ranked_knobs[:top_k]:
+        cls = catalog.get(name).knob_class.value
+        counts[cls] = counts.get(cls, 0) + 1
+    if not counts:
+        return None
+    best = max(counts, key=counts.get)
+    return best if counts[best] >= (min(top_k, len(ranked_knobs)) + 1) // 2 else best
+
+
+def run(
+    windows_per_workload: int = 12,
+    seed: int = 0,
+) -> AccuracyResult:
+    """Reproduce Fig. 15 on PostgreSQL."""
+    catalog = postgres_catalog()
+    workloads: list[WorkloadGenerator] = [
+        TPCCWorkload(rps=12_000.0, data_size_gb=22.0, seed=seed + 1),
+        YCSBWorkload(rps=12_000.0, data_size_gb=18.34, seed=seed + 2),
+        WikipediaWorkload(rps=6_000.0, data_size_gb=20.2, seed=seed + 3),
+        TwitterWorkload(rps=12_000.0, data_size_gb=16.0, seed=seed + 4),
+    ]
+    repository = offline_train(catalog, workloads, n_configs=14, seed=seed + 5)
+    # "We minimize this exploration by setting appropriate hyper
+    # parameters manually": kappa ~ 0.
+    tuner = OtterTuneTuner(
+        catalog, repository, kappa=0.05, n_candidates=200,
+        memory_limit_mb=13_107.0, seed=seed + 6,
+    )
+
+    result = AccuracyResult()
+    for i, workload in enumerate(workloads):
+        db = SimulatedDatabase(
+            "postgres", "m4.xlarge", workload.data_size_gb, seed=seed + 10 + i
+        )
+        tde = ThrottlingDetectionEngine(
+            "svc", db, repository, seed=seed + 20 + i, planner_trigger_every=2
+        )
+        for _ in range(windows_per_workload):
+            window = db.run(workload.batch(60.0, start_time_s=db.clock_s))
+            report = tde.inspect(window)
+            if not report.throttles:
+                continue
+            dataset = repository.dataset(workload.name)
+            ranked = tuner.ranked_knobs(dataset.configs, dataset.objective)
+            majority = _majority_class(ranked, catalog)
+            for throttle in report.throttles:
+                result.record(
+                    throttle.knob_class.value,
+                    majority == throttle.knob_class.value,
+                )
+    return result

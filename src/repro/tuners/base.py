@@ -1,0 +1,191 @@
+"""Tuner API: requests, recommendations, training samples.
+
+Tuner instances (§2.1) are interchangeable behind this interface — the
+config director load-balances :class:`TuningRequest` objects across them
+and forwards the resulting :class:`Recommendation` to the apply pipeline.
+Both the BO-style (:mod:`repro.tuners.ottertune`) and RL-style
+(:mod:`repro.tuners.cdbtune`) tuners implement :class:`Tuner`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dbsim.config import KnobConfiguration
+from repro.dbsim.knobs import KnobCatalog
+from repro.dbsim.metrics import MetricsDelta
+
+__all__ = [
+    "TrainingSample",
+    "TuningRequest",
+    "Recommendation",
+    "Tuner",
+    "config_to_vector",
+    "vector_to_config",
+]
+
+
+def config_to_vector(config: KnobConfiguration) -> np.ndarray:
+    """Normalise a configuration to a [0, 1]^d vector (catalog order).
+
+    Ratio-scaled knobs (see :attr:`KnobDef.log_scale`) are log-transformed
+    first so that, e.g., a 16 MB and a 3 GB buffer pool land far apart in
+    tuning space while 60 GB and 63 GB land close together.
+    """
+    values = []
+    for knob in config.catalog:
+        value = config[knob.name]
+        if knob.log_scale:
+            values.append(
+                np.log(value / knob.min_value)
+                / np.log(knob.max_value / knob.min_value)
+            )
+        else:
+            span = knob.max_value - knob.min_value
+            values.append((value - knob.min_value) / span)
+    return np.array(values, dtype=float)
+
+
+def vector_to_config(
+    vector: np.ndarray, catalog: KnobCatalog
+) -> KnobConfiguration:
+    """Inverse of :func:`config_to_vector` (values clamped to ranges)."""
+    if len(vector) != len(catalog):
+        raise ValueError(
+            f"vector length {len(vector)} != catalog size {len(catalog)}"
+        )
+    values = {}
+    for knob, unit in zip(catalog, vector):
+        unit = float(unit)
+        if knob.log_scale:
+            value = knob.min_value * (knob.max_value / knob.min_value) ** unit
+        else:
+            value = knob.min_value + unit * (knob.max_value - knob.min_value)
+        values[knob.name] = knob.clamp(value)
+    return KnobConfiguration(catalog, values)
+
+
+@dataclass(frozen=True)
+class TrainingSample:
+    """One (config, delta-metrics) observation from a workload execution.
+
+    ``quality`` is the §1 "high quality samples" notion: samples captured
+    while the database actually needed tuning (e.g. at a TDE throttle)
+    carry signal; samples from idle windows mostly carry noise. The
+    repository computes a quality score; TDE-gated pipelines only upload
+    high-quality samples.
+    """
+
+    workload_id: str
+    config: KnobConfiguration
+    metrics: MetricsDelta
+    timestamp_s: float = 0.0
+
+    @property
+    def objective(self) -> float:
+        """The tuning objective (achieved throughput)."""
+        return self.metrics.throughput
+
+
+@dataclass(frozen=True)
+class TuningRequest:
+    """A request for a new configuration recommendation.
+
+    ``throttle_class`` / ``throttle_knobs`` carry the TDE's diagnosis: the
+    §3 classification exists precisely so the tuner knows *which* knobs
+    the workload is throttling on, and recommendations honour it (see
+    :func:`boost_throttled_knobs`).
+    """
+
+    instance_id: str
+    workload_id: str
+    config: KnobConfiguration
+    metrics: MetricsDelta
+    throttle_class: str | None = None
+    throttle_knobs: tuple[str, ...] = ()
+    timestamp_s: float = 0.0
+
+
+def boost_throttled_knobs(
+    config: KnobConfiguration, request: TuningRequest
+) -> KnobConfiguration:
+    """Raise the throttle-implicated memory knobs geometrically.
+
+    A memory throttle means the named working-area knobs are too small
+    for the live queries (plans spill). Whatever the surrogate proposed,
+    the recommendation must not leave those knobs below twice their
+    current value — successive throttles then converge on the demand in a
+    handful of doublings instead of re-firing forever.
+    """
+    if not request.throttle_knobs:
+        return config
+    updates: dict[str, float] = {}
+    for name in request.throttle_knobs:
+        if name not in config.catalog:
+            continue
+        knob = config.catalog.get(name)
+        if knob.knob_class.value != "memory" or knob.restart_required:
+            continue
+        floor = knob.clamp(2.0 * request.config[name])
+        if config[name] < floor:
+            updates[name] = floor
+    return config.with_values(updates) if updates else config
+
+
+@dataclass
+class Recommendation:
+    """A recommended configuration for one service instance."""
+
+    instance_id: str
+    config: KnobConfiguration
+    source: str
+    expected_improvement: float = 0.0
+    ranked_knobs: list[str] = field(default_factory=list)
+
+    def restart_required_changes(
+        self, current: KnobConfiguration
+    ) -> list[str]:
+        """Names of changed knobs that need a restart (non-tunable, §4)."""
+        diff = current.diff(self.config)
+        return [
+            name
+            for name in diff
+            if self.config.catalog.get(name).restart_required
+        ]
+
+
+class Tuner(abc.ABC):
+    """A tuner instance: absorbs samples, answers tuning requests."""
+
+    name: str = "tuner"
+
+    @abc.abstractmethod
+    def observe(self, sample: TrainingSample) -> None:
+        """Absorb one training sample (store it and learn from it)."""
+
+    def learn(self, sample: TrainingSample) -> None:
+        """Learn from a sample *without* storing it anywhere.
+
+        The AutoDBaaS facade stores each uploaded sample in the shared
+        repository exactly once and then calls ``learn`` on every tuner
+        instance — repository-backed tuners (BO) read the store and need
+        no per-instance copy, while policy-based tuners (RL) must see the
+        stream to close their pending transitions. Default: no-op.
+        """
+
+    @abc.abstractmethod
+    def recommend(self, request: TuningRequest) -> Recommendation:
+        """Produce a new configuration for *request*."""
+
+    @abc.abstractmethod
+    def recommendation_cost_s(self) -> float:
+        """Wall-clock cost of producing one recommendation.
+
+        The §1 "recommendation-cost": OtterTune's GPR retrain takes
+        100–120 s at production workload sizes, binding one deployment to
+        3–4 serviced instances; RL tuners answer in near-constant time.
+        The config director uses this for load accounting (Fig. 9).
+        """

@@ -1,0 +1,116 @@
+"""Metric pruning: factor analysis + k-means, after Van Aken et al. (2017).
+
+Database metric sets are redundant (blks_hit tracks blks_read tracks
+disk_iops...). OtterTune prunes them by embedding each *metric* via factor
+analysis of the samples×metrics matrix and clustering the metric
+embeddings with k-means, keeping the metric closest to each centroid.
+We implement the factor embedding via SVD (principal factors) and a small
+deterministic k-means, both on numpy only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["factor_embedding", "kmeans", "prune_metrics"]
+
+
+def factor_embedding(metric_matrix: np.ndarray, n_factors: int = 5) -> np.ndarray:
+    """Embed each metric (column) into factor space.
+
+    Columns are standardised, the SVD of the samples×metrics matrix is
+    taken, and each metric's loading on the top *n_factors* right singular
+    vectors (scaled by singular values) is its embedding — the classic
+    principal-factor approximation.
+    """
+    x = np.asarray(metric_matrix, dtype=float)
+    if x.ndim != 2:
+        raise ValueError("metric_matrix must be 2-D (samples × metrics)")
+    n, m = x.shape
+    if n < 2:
+        raise ValueError("need at least 2 samples for factor analysis")
+    mean = x.mean(axis=0)
+    std = x.std(axis=0)
+    std = np.where(std > 1e-12, std, 1.0)
+    xs = (x - mean) / std
+    _, s, vt = np.linalg.svd(xs, full_matrices=False)
+    k = min(n_factors, len(s))
+    # (metrics × factors): each metric's loadings scaled by √eigenvalue.
+    return (vt[:k].T * (s[:k] / np.sqrt(max(n - 1, 1))))
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    n_iter: int = 50,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Plain Lloyd's k-means; returns (labels, centroids).
+
+    Deterministic: initial centroids are the k points furthest apart
+    under greedy max-min selection starting from the point nearest the
+    data mean (no RNG involvement unless ties), so pruning is stable
+    across runs.
+    """
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    if k <= 0 or k > n:
+        raise ValueError(f"k={k} out of range for {n} points")
+    del seed  # deterministic init; parameter kept for API stability
+    # Greedy max-min init.
+    start = int(np.argmin(np.linalg.norm(points - points.mean(axis=0), axis=1)))
+    centroid_idx = [start]
+    for _ in range(k - 1):
+        dists = np.min(
+            np.stack(
+                [np.linalg.norm(points - points[i], axis=1) for i in centroid_idx]
+            ),
+            axis=0,
+        )
+        centroid_idx.append(int(np.argmax(dists)))
+    centroids = points[centroid_idx].copy()
+
+    labels = np.zeros(n, dtype=int)
+    for _ in range(n_iter):
+        dists = np.linalg.norm(points[:, None, :] - centroids[None, :, :], axis=2)
+        new_labels = np.argmin(dists, axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            mask = labels == j
+            if mask.any():
+                centroids[j] = points[mask].mean(axis=0)
+    return labels, centroids
+
+
+def prune_metrics(
+    metric_matrix: np.ndarray,
+    metric_names: tuple[str, ...],
+    n_clusters: int = 8,
+    n_factors: int = 5,
+) -> list[str]:
+    """Representative metric names after factor-analysis + k-means pruning.
+
+    Constant metrics (zero variance across samples) are dropped first —
+    they carry no signal and break standardisation. One metric per
+    cluster survives: the one nearest its centroid.
+    """
+    x = np.asarray(metric_matrix, dtype=float)
+    if x.shape[1] != len(metric_names):
+        raise ValueError("metric_names length must match matrix columns")
+    keep = x.std(axis=0) > 1e-12
+    live_names = [n for n, flag in zip(metric_names, keep) if flag]
+    if not live_names:
+        return []
+    embedding = factor_embedding(x[:, keep], n_factors=n_factors)
+    k = min(n_clusters, len(live_names))
+    labels, centroids = kmeans(embedding, k)
+    chosen: list[str] = []
+    for j in range(k):
+        members = np.where(labels == j)[0]
+        if len(members) == 0:
+            continue
+        dists = np.linalg.norm(embedding[members] - centroids[j], axis=1)
+        chosen.append(live_names[int(members[np.argmin(dists)])])
+    return sorted(chosen, key=live_names.index)

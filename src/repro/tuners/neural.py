@@ -1,0 +1,150 @@
+"""Tiny neural-network toolkit (numpy-only) for the RL-style tuner.
+
+A fully-connected MLP with tanh hidden layers, choice of output
+activation, manual backprop and an Adam optimiser — everything the
+DDPG-lite tuner in :mod:`repro.tuners.cdbtune` needs, with deterministic
+initialisation from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import make_rng
+
+__all__ = ["MLP", "Adam", "soft_update"]
+
+
+class MLP:
+    """Feed-forward network: tanh hidden layers, configurable output.
+
+    Parameters
+    ----------
+    layer_sizes:
+        E.g. ``[state_dim, 64, 64, action_dim]``.
+    output:
+        ``"linear"``, ``"sigmoid"`` or ``"tanh"``.
+    seed:
+        Initialisation seed (Xavier-uniform).
+    """
+
+    def __init__(
+        self,
+        layer_sizes: list[int],
+        output: str = "linear",
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        if output not in ("linear", "sigmoid", "tanh"):
+            raise ValueError(f"unknown output activation {output!r}")
+        rng = make_rng(seed)
+        self.output = output
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes, layer_sizes[1:]):
+            bound = np.sqrt(6.0 / (fan_in + fan_out))
+            self.weights.append(rng.uniform(-bound, bound, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self._cache: list[np.ndarray] = []
+
+    def parameters(self) -> list[np.ndarray]:
+        """Flat list of parameter arrays (weights then biases per layer)."""
+        out: list[np.ndarray] = []
+        for w, b in zip(self.weights, self.biases):
+            out.extend((w, b))
+        return out
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; caches activations for :meth:`backward`."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self._cache = [x]
+        h = x
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = h @ w + b
+            if i < last:
+                h = np.tanh(z)
+            elif self.output == "sigmoid":
+                h = 1.0 / (1.0 + np.exp(-z))
+            elif self.output == "tanh":
+                h = np.tanh(z)
+            else:
+                h = z
+            self._cache.append(h)
+        return h
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        """Backprop *grad_out* (dL/dy) through the cached forward pass.
+
+        Returns ``(param_grads, grad_input)`` where ``param_grads`` aligns
+        with :meth:`parameters`.
+        """
+        if not self._cache:
+            raise RuntimeError("backward() before forward()")
+        grads_w: list[np.ndarray] = [np.empty(0)] * len(self.weights)
+        grads_b: list[np.ndarray] = [np.empty(0)] * len(self.biases)
+        delta = np.atleast_2d(np.asarray(grad_out, dtype=float))
+        last = len(self.weights) - 1
+        for i in range(last, -1, -1):
+            activation = self._cache[i + 1]
+            if i == last:
+                if self.output == "sigmoid":
+                    delta = delta * activation * (1.0 - activation)
+                elif self.output == "tanh":
+                    delta = delta * (1.0 - activation**2)
+            else:
+                delta = delta * (1.0 - activation**2)
+            grads_w[i] = self._cache[i].T @ delta
+            grads_b[i] = delta.sum(axis=0)
+            delta = delta @ self.weights[i].T
+        param_grads: list[np.ndarray] = []
+        for gw, gb in zip(grads_w, grads_b):
+            param_grads.extend((gw, gb))
+        return param_grads, delta
+
+    def copy_from(self, other: "MLP") -> None:
+        """Hard-copy parameters from *other* (target-network init)."""
+        for mine, theirs in zip(self.parameters(), other.parameters()):
+            mine[...] = theirs
+
+
+class Adam:
+    """Adam optimiser over a fixed list of parameter arrays."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        self.parameters = parameters
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in parameters]
+        self._v = [np.zeros_like(p) for p in parameters]
+        self._t = 0
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        """Apply one update from *grads* (aligned with parameters)."""
+        if len(grads) != len(self.parameters):
+            raise ValueError("gradient list does not match parameters")
+        self._t += 1
+        correction1 = 1.0 - self.beta1**self._t
+        correction2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self.parameters, grads, self._m, self._v):
+            m[...] = self.beta1 * m + (1.0 - self.beta1) * g
+            v[...] = self.beta2 * v + (1.0 - self.beta2) * g**2
+            p -= self.lr * (m / correction1) / (np.sqrt(v / correction2) + self.eps)
+
+
+def soft_update(target: MLP, source: MLP, tau: float = 0.005) -> None:
+    """Polyak-average *source* into *target* (DDPG target networks)."""
+    for t, s in zip(target.parameters(), source.parameters()):
+        t[...] = (1.0 - tau) * t + tau * s

@@ -1,0 +1,229 @@
+"""The BO-style tuner (OtterTune-like pipeline, Van Aken et al. 2017).
+
+Pipeline per recommendation:
+
+1. pull the target workload's samples plus the repository;
+2. map the target onto its most similar historical workload
+   (:mod:`repro.tuners.workload_mapping`);
+3. fit a GPR surrogate on the mapped workload's samples concatenated with
+   the target's own (target last, so its evidence dominates duplicates);
+4. maximise GP-UCB over random candidate configurations plus local
+   perturbations of the best seen, honouring the VM memory budget;
+5. rank knob importance with a Lasso path for the recommendation report.
+
+The §1 scalability cost is modelled by :meth:`recommendation_cost_s`:
+GPR retraining takes ~100–120 s at production sample volumes, so one
+deployment saturates at 3–4 serviced instances under 5-minute periodic
+tuning — the number Fig. 9 attacks with the TDE.
+
+Model corruption (§2.1, Figs. 12) is emergent: feed low-quality idle
+production samples through :meth:`observe` and the surrogate learns a
+flat, noisy response surface whose argmax is close to random.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.dbsim.config import KnobConfiguration
+from repro.dbsim.knobs import KnobCatalog
+from repro.tuners.base import (
+    Recommendation,
+    TrainingSample,
+    Tuner,
+    TuningRequest,
+    boost_throttled_knobs,
+    config_to_vector,
+    vector_to_config,
+)
+from repro.tuners.gpr import GaussianProcessRegressor
+from repro.tuners.lasso import lasso_path_ranking
+from repro.tuners.repository import WorkloadRepository
+from repro.tuners.workload_mapping import WorkloadMapper
+
+__all__ = ["OtterTuneTuner"]
+
+
+class OtterTuneTuner(Tuner):
+    """BO-style tuner over a shared workload repository.
+
+    Parameters
+    ----------
+    catalog:
+        Knob catalog of the DBMS flavor being tuned.
+    repository:
+        Shared :class:`WorkloadRepository`; a private one is created if
+        omitted.
+    kappa:
+        GP-UCB exploration weight. The default is deliberately small —
+        against production systems exploration is costly, and Fig. 15
+        "minimise[s] this exploration by setting appropriate hyper
+        parameters manually" (pass ~0 for that experiment).
+    memory_limit_mb / active_connections:
+        If given, candidate configurations violating the §4 memory budget
+        are filtered out before scoring.
+    """
+
+    name = "ottertune"
+
+    def __init__(
+        self,
+        catalog: KnobCatalog,
+        repository: WorkloadRepository | None = None,
+        kappa: float = 0.5,
+        n_candidates: int = 600,
+        max_train_samples: int = 300,
+        memory_limit_mb: float | None = None,
+        active_connections: int = 20,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if max_train_samples < 3:
+            raise ValueError("max_train_samples must be >= 3")
+        self.catalog = catalog
+        self.repository = repository if repository is not None else WorkloadRepository()
+        self.kappa = kappa
+        self.n_candidates = n_candidates
+        self.max_train_samples = max_train_samples
+        self.memory_limit_mb = memory_limit_mb
+        self.active_connections = active_connections
+        self._rng = make_rng(seed)
+        self._mapper = WorkloadMapper(self.repository)
+        self._last_train_size = 0
+        self.last_mapping_id: str | None = None
+
+    # -- Tuner interface ---------------------------------------------------------
+
+    def observe(self, sample: TrainingSample) -> None:
+        """Store one sample in the shared repository."""
+        self.repository.add(sample)
+
+    def recommend(self, request: TuningRequest) -> Recommendation:
+        """GP-UCB recommendation for *request* (see module docstring)."""
+        x, y = self._training_set(request)
+        self._last_train_size = len(y)
+        if len(y) < 3:
+            # Cold start: no usable history; nudge defaults randomly.
+            vector = np.clip(
+                config_to_vector(request.config)
+                + self._rng.normal(0.0, 0.1, size=len(self.catalog)),
+                0.0,
+                1.0,
+            )
+            config = self._repair(vector_to_config(vector, self.catalog))
+            return Recommendation(
+                request.instance_id, config, self.name, expected_improvement=0.0
+            )
+        gpr = GaussianProcessRegressor(
+            length_scale=0.4, noise_variance=0.05
+        ).fit(x, y)
+        candidates = self._candidates(x, y)
+        scores = gpr.ucb(candidates, kappa=self.kappa)
+        best = int(np.argmax(scores))
+        config = vector_to_config(candidates[best], self.catalog)
+        config = self._repair(boost_throttled_knobs(config, request))
+        best_mean = float(gpr.predict(candidates[best][None, :])[0])
+        current_pred = float(gpr.predict(config_to_vector(request.config)[None, :])[0])
+        return Recommendation(
+            instance_id=request.instance_id,
+            config=config,
+            source=self.name,
+            # Posterior-mean difference: the UCB's exploration bonus is a
+            # selection criterion, not an improvement estimate.
+            expected_improvement=best_mean - current_pred,
+            ranked_knobs=self.ranked_knobs(x, y),
+        )
+
+    def recommendation_cost_s(self) -> float:
+        """GPR retrain + candidate scoring wall-clock model (§1).
+
+        Calibrated so ~2000 repository samples cost ≈ 110 s of training
+        and ≈ 200 s end-to-end, the numbers the paper reports.
+        """
+        n = max(self.repository.total_samples(), self._last_train_size)
+        train_s = 110.0 * (n / 2000.0) ** 1.5
+        scoring_s = 90.0 * (n / 2000.0)
+        return 2.0 + train_s + scoring_s
+
+    # -- pipeline pieces -----------------------------------------------------------
+
+    def _training_set(self, request: TuningRequest) -> tuple[np.ndarray, np.ndarray]:
+        """Mapped + target samples, objectives standardised per source.
+
+        Different sources observe the same configurations under different
+        offered loads (an offline stress session vs a live system), so raw
+        throughputs are not comparable across sources; each source's
+        objective is z-scored independently — what matters for the
+        surrogate is each source's *ranking* of configurations.
+        """
+        target = self.repository.dataset(request.workload_id)
+        mapping = self._mapper.map_workload(request.workload_id)
+        self.last_mapping_id = mapping.best_workload_id
+
+        def standardise(y: np.ndarray) -> np.ndarray:
+            std = float(np.std(y))
+            return (y - float(np.mean(y))) / std if std > 1e-12 else y - float(np.mean(y))
+
+        parts_x: list[np.ndarray] = []
+        parts_y: list[np.ndarray] = []
+        if mapping.mapped:
+            mapped = self.repository.dataset(mapping.best_workload_id)
+            if mapped.size:
+                parts_x.append(mapped.configs)
+                parts_y.append(standardise(mapped.objective))
+        if target.size:
+            parts_x.append(target.configs)
+            parts_y.append(standardise(target.objective))
+        if not parts_x:
+            return np.empty((0, len(self.catalog))), np.empty(0)
+        x = np.vstack(parts_x)
+        y = np.concatenate(parts_y)
+        # Exact GPR is cubic in the sample count; cap the training set at
+        # the most recent rows (target samples come last and survive
+        # preferentially), as a deployed tuner must.
+        if len(y) > self.max_train_samples:
+            x = x[-self.max_train_samples :]
+            y = y[-self.max_train_samples :]
+        return x, y
+
+    def _candidates(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Random + locally-perturbed candidates, repaired to the budget.
+
+        Repair happens *before* GP-UCB scoring so the surrogate is asked
+        about configurations that can actually be deployed — otherwise a
+        budget filter would reject nearly all of the uniform samples
+        (working areas multiply per session) and the fallback would score
+        swap-inducing configs.
+        """
+        d = len(self.catalog)
+        n_random = self.n_candidates
+        random_part = self._rng.uniform(0.0, 1.0, size=(n_random, d))
+        best_seen = x[int(np.argmax(y))]
+        local_part = np.clip(
+            best_seen + self._rng.normal(0.0, 0.08, size=(n_random // 5, d)),
+            0.0,
+            1.0,
+        )
+        candidates = np.vstack([random_part, local_part])
+        if self.memory_limit_mb is None:
+            return candidates
+        repaired = [
+            config_to_vector(self._repair(vector_to_config(c, self.catalog)))
+            for c in candidates
+        ]
+        return np.vstack(repaired)
+
+    def _repair(self, config: KnobConfiguration) -> KnobConfiguration:
+        if self.memory_limit_mb is None:
+            return config
+        return config.fitted_to_budget(
+            self.memory_limit_mb, self.active_connections
+        )
+
+    def ranked_knobs(self, x: np.ndarray, y: np.ndarray) -> list[str]:
+        """Knob names ranked by Lasso-path importance on (*x*, *y*)."""
+        if len(y) < 5:
+            return []
+        order = lasso_path_ranking(x, y)
+        names = self.catalog.names()
+        return [names[i] for i in order]

@@ -1,0 +1,124 @@
+"""JSON persistence for the shared repositories.
+
+§2 stores tuner workloads in "a common central data repository" that
+survives tuner restarts and is shared across IaaS'es; operationally that
+means the sample store and the config history must serialise. Both
+round-trip through plain JSON here — no pickle, so files are inspectable
+and safe to exchange.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.director.config_repository import ConfigRepository
+from repro.dbsim.config import KnobConfiguration
+from repro.dbsim.knobs import catalog_for
+from repro.dbsim.metrics import MetricsDelta
+from repro.tuners.base import TrainingSample
+from repro.tuners.repository import WorkloadRepository
+
+__all__ = [
+    "save_repository",
+    "load_repository",
+    "save_config_history",
+    "load_config_history",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _sample_to_dict(sample: TrainingSample) -> dict:
+    return {
+        "workload_id": sample.workload_id,
+        "flavor": sample.config.catalog.flavor,
+        "config": sample.config.as_dict(),
+        "metrics": dict(sample.metrics.values),
+        "timestamp_s": sample.timestamp_s,
+    }
+
+
+def _sample_from_dict(payload: dict) -> TrainingSample:
+    catalog = catalog_for(payload["flavor"])
+    return TrainingSample(
+        workload_id=payload["workload_id"],
+        config=KnobConfiguration(catalog, payload["config"]),
+        metrics=MetricsDelta(dict(payload["metrics"])),
+        timestamp_s=float(payload.get("timestamp_s", 0.0)),
+    )
+
+
+def save_repository(
+    repository: WorkloadRepository, path: str | pathlib.Path
+) -> int:
+    """Write *repository* to *path* as JSON; returns the sample count."""
+    samples = [
+        _sample_to_dict(sample)
+        for wid in repository.workload_ids()
+        for sample in repository.samples(wid)
+    ]
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "metric_names": list(repository.metric_names),
+        "samples": samples,
+    }
+    pathlib.Path(path).write_text(json.dumps(payload))
+    return len(samples)
+
+
+def load_repository(path: str | pathlib.Path) -> WorkloadRepository:
+    """Read a repository previously written by :func:`save_repository`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported repository format version {version!r}"
+        )
+    repository = WorkloadRepository(
+        metric_names=tuple(payload["metric_names"])
+    )
+    for entry in payload["samples"]:
+        repository.add(_sample_from_dict(entry))
+    return repository
+
+
+def save_config_history(
+    configs: ConfigRepository,
+    instance_ids: list[str],
+    path: str | pathlib.Path,
+) -> int:
+    """Write the config history of *instance_ids* to *path*."""
+    versions = []
+    for instance_id in instance_ids:
+        for version in configs.history(instance_id):
+            versions.append(
+                {
+                    "instance_id": version.instance_id,
+                    "flavor": version.config.catalog.flavor,
+                    "config": version.config.as_dict(),
+                    "source": version.source,
+                    "timestamp_s": version.timestamp_s,
+                }
+            )
+    payload = {"format_version": _FORMAT_VERSION, "versions": versions}
+    pathlib.Path(path).write_text(json.dumps(payload))
+    return len(versions)
+
+
+def load_config_history(path: str | pathlib.Path) -> ConfigRepository:
+    """Read a config history written by :func:`save_config_history`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported config-history format version {version!r}")
+    configs = ConfigRepository()
+    for entry in payload["versions"]:
+        catalog = catalog_for(entry["flavor"])
+        configs.store(
+            entry["instance_id"],
+            KnobConfiguration(catalog, entry["config"]),
+            entry["source"],
+            float(entry["timestamp_s"]),
+        )
+    return configs

@@ -1,0 +1,145 @@
+"""Central workload data repository (§2's common data store).
+
+Every tuner instance trains from one shared repository. A workload ``W``
+is, per §2, "a set S of N matrices {X_0, X_1, ..., X_{N-1}} where X_{m,i,j}
+is the value of a metric m observed when executing a user SQL workload on
+database having configuration j and workload identifier i". The
+repository stores :class:`~repro.tuners.base.TrainingSample` rows and can
+materialise exactly those matrices, so the OtterTune-style mapping code
+reads the same shape of data the paper describes.
+
+Tuning agents on database VMs upload new samples here periodically; tuner
+services on other IaaS'es fetch them — which in this reproduction is just
+shared-object access plus an explicit ``sync``-style API for tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dbsim.metrics import OTTERTUNE_METRICS
+from repro.tuners.base import TrainingSample, config_to_vector
+
+__all__ = ["WorkloadDataset", "WorkloadRepository"]
+
+
+@dataclass
+class WorkloadDataset:
+    """All samples of one workload id, as matrices.
+
+    ``configs`` is (n, d) in normalised knob space, ``metrics`` is (n, m)
+    in the repository's metric ordering, ``objective`` is (n,) throughput.
+    """
+
+    workload_id: str
+    configs: np.ndarray
+    metrics: np.ndarray
+    objective: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return len(self.objective)
+
+
+class WorkloadRepository:
+    """Sample store shared by all tuner instances.
+
+    Parameters
+    ----------
+    metric_names:
+        Which metrics the repository captures per sample. Defaults to the
+        OtterTune agent's set — which deliberately lacks planner
+        estimates (see :mod:`repro.dbsim.metrics`).
+    """
+
+    def __init__(self, metric_names: tuple[str, ...] = OTTERTUNE_METRICS) -> None:
+        self.metric_names = metric_names
+        self._samples: dict[str, list[TrainingSample]] = defaultdict(list)
+
+    def add(self, sample: TrainingSample) -> None:
+        """Store one sample."""
+        self._samples[sample.workload_id].append(sample)
+
+    def add_many(self, samples: list[TrainingSample]) -> None:
+        """Store many samples."""
+        for sample in samples:
+            self.add(sample)
+
+    def workload_ids(self) -> list[str]:
+        """Known workload identifiers, insertion order."""
+        return list(self._samples)
+
+    def samples(self, workload_id: str) -> list[TrainingSample]:
+        """Samples of one workload (empty list if unknown)."""
+        return list(self._samples.get(workload_id, []))
+
+    def total_samples(self) -> int:
+        """Sample count across all workloads."""
+        return sum(len(rows) for rows in self._samples.values())
+
+    def dataset(self, workload_id: str) -> WorkloadDataset:
+        """Materialise one workload's matrices (§2's X matrices)."""
+        rows = self._samples.get(workload_id, [])
+        if not rows:
+            return WorkloadDataset(
+                workload_id,
+                configs=np.empty((0, 0)),
+                metrics=np.empty((0, len(self.metric_names))),
+                objective=np.empty(0),
+            )
+        configs = np.vstack([config_to_vector(s.config) for s in rows])
+        metrics = np.vstack(
+            [s.metrics.as_vector(self.metric_names) for s in rows]
+        )
+        objective = np.array([s.objective for s in rows], dtype=float)
+        return WorkloadDataset(workload_id, configs, metrics, objective)
+
+    def datasets(self) -> dict[str, WorkloadDataset]:
+        """All workloads' matrices."""
+        return {wid: self.dataset(wid) for wid in self._samples}
+
+    def all_metric_rows(self) -> np.ndarray:
+        """Every sample's metric vector stacked, for global binning."""
+        rows = [
+            s.metrics.as_vector(self.metric_names)
+            for samples in self._samples.values()
+            for s in samples
+        ]
+        if not rows:
+            return np.empty((0, len(self.metric_names)))
+        return np.vstack(rows)
+
+    def quality_score(self, workload_id: str) -> float:
+        """Mean per-metric coefficient of variation across the samples.
+
+        §1's sample-quality notion made concrete: a workload whose
+        captured metrics barely vary across configurations (idle
+        production windows) scores near 0; benchmark executions that
+        sweep configurations score high.
+        """
+        dataset = self.dataset(workload_id)
+        if dataset.size < 2:
+            return 0.0
+        means = np.abs(dataset.metrics.mean(axis=0))
+        stds = dataset.metrics.std(axis=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cv = np.where(means > 1e-12, stds / means, 0.0)
+        return float(np.mean(cv))
+
+    def sync_from(self, other: "WorkloadRepository") -> int:
+        """Pull samples present in *other* but not here; return count.
+
+        Stands in for tuning agents uploading new workloads which tuner
+        services on different IaaS'es then fetch (§2).
+        """
+        pulled = 0
+        for wid in other.workload_ids():
+            have = len(self._samples.get(wid, []))
+            rows = other.samples(wid)
+            if len(rows) > have:
+                self._samples[wid].extend(rows[have:])
+                pulled += len(rows) - have
+        return pulled

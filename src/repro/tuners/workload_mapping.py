@@ -1,0 +1,112 @@
+"""Workload mapping: find the most similar historical workload.
+
+OtterTune leverages past experience by *mapping* the live target workload
+onto the most similar workload in the repository, then reusing that
+workload's samples to warm its surrogate. The mapping (Van Aken et al.
+§5.2) bins every metric into deciles computed over the whole repository
+(making scales comparable), then scores each candidate workload by the
+Euclidean distance between binned metric vectors at matching
+configurations. §3.2's background-writer detector reuses the same mapping
+to pick its disk-latency baseline workload, and §3.2 notes mapping quality
+improves as the target accumulates samples — which falls out of this
+implementation naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tuners.repository import WorkloadDataset, WorkloadRepository
+
+__all__ = ["MappingResult", "WorkloadMapper"]
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """Outcome of mapping a target workload onto the repository."""
+
+    target_id: str
+    best_workload_id: str | None
+    scores: dict[str, float]
+
+    @property
+    def mapped(self) -> bool:
+        return self.best_workload_id is not None
+
+
+class WorkloadMapper:
+    """Decile-binned Euclidean workload mapping over a repository."""
+
+    def __init__(self, repository: WorkloadRepository, n_bins: int = 10) -> None:
+        if n_bins < 2:
+            raise ValueError("n_bins must be >= 2")
+        self.repository = repository
+        self.n_bins = n_bins
+
+    def _bin_edges(self) -> np.ndarray | None:
+        rows = self.repository.all_metric_rows()
+        if len(rows) < 2:
+            return None
+        quantiles = np.linspace(0.0, 1.0, self.n_bins + 1)[1:-1]
+        return np.quantile(rows, quantiles, axis=0)  # (n_bins-1, m)
+
+    def _binned(self, metrics: np.ndarray, edges: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(metrics)
+        for col in range(metrics.shape[1]):
+            out[:, col] = np.searchsorted(edges[:, col], metrics[:, col])
+        return out
+
+    def map_workload(
+        self, target_id: str, exclude_target: bool = True
+    ) -> MappingResult:
+        """Map *target_id* onto the best-matching repository workload.
+
+        For every target sample the candidate's nearest-config sample is
+        found (Euclidean in normalised knob space) and the squared
+        distance between their decile-binned metric vectors accumulates
+        into the candidate's score; lowest mean score wins. Candidates
+        without samples — or the target itself, unless
+        ``exclude_target=False`` — are skipped.
+        """
+        target = self.repository.dataset(target_id)
+        if target.size == 0:
+            return MappingResult(target_id, None, {})
+        edges = self._bin_edges()
+        if edges is None:
+            return MappingResult(target_id, None, {})
+        target_binned = self._binned(target.metrics, edges)
+
+        scores: dict[str, float] = {}
+        for wid in self.repository.workload_ids():
+            if exclude_target and wid == target_id:
+                continue
+            candidate = self.repository.dataset(wid)
+            if candidate.size == 0:
+                continue
+            scores[wid] = self._score(
+                target, target_binned, candidate, edges
+            )
+        if not scores:
+            return MappingResult(target_id, None, {})
+        best = min(scores, key=scores.get)
+        return MappingResult(target_id, best, scores)
+
+    def _score(
+        self,
+        target: WorkloadDataset,
+        target_binned: np.ndarray,
+        candidate: WorkloadDataset,
+        edges: np.ndarray,
+    ) -> float:
+        candidate_binned = self._binned(candidate.metrics, edges)
+        # nearest candidate config per target sample
+        diffs = (
+            np.sum(target.configs**2, axis=1)[:, None]
+            + np.sum(candidate.configs**2, axis=1)[None, :]
+            - 2.0 * target.configs @ candidate.configs.T
+        )
+        nearest = np.argmin(diffs, axis=1)
+        deltas = target_binned - candidate_binned[nearest]
+        return float(np.mean(np.sum(deltas**2, axis=1)))

@@ -1,0 +1,144 @@
+"""Adulterated TPC-C, §3.1 of the paper.
+
+Plain TPC-C uses ~0.5 MB of working memory (Fig. 2) and cannot raise
+memory throttles. To exercise every knob class the paper mixes extra
+queries into the TPC-C bucket with a configurable *adulteration
+probability* (Figs. 3 and 4 use 80% and 50%):
+
+- complex sorts / aggregations        → ``work_mem`` / ``sort_buffer_size``
+- create / delete indexes             → ``maintenance_work_mem`` /
+  ``key_buffer_size``
+- bulk deletes                        → ``maintenance_work_mem``
+- temp tables + aggregations on them  → ``temp_buffers`` /
+  ``tmp_table_size``
+
+With adulteration probability ``p``, a fraction ``p`` of the emitted
+statements comes from the adulteration families (split evenly) and the
+remaining ``1 - p`` from the plain TPC-C mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.query import QueryFamily, QueryFootprint, QueryType
+from repro.workloads.tpcc import TPCCWorkload
+
+__all__ = ["AdulteratedTPCCWorkload", "adulteration_families"]
+
+
+def adulteration_families(weight_total: float) -> list[QueryFamily]:
+    """The four adulteration families, sharing *weight_total* evenly.
+
+    The ~350 MB aggregation footprint matches Fig. 2's "complex
+    aggregation queries ... requires nearby 350 MB".
+    """
+    share = weight_total / 4.0
+    return [
+        QueryFamily(
+            name="adult_complex_aggregate",
+            query_type=QueryType.AGGREGATE,
+            template=(
+                "SELECT ol_i_id, SUM(ol_amount), COUNT(*) FROM order_line "
+                "WHERE ol_delivery_d > %s GROUP BY ol_i_id "
+                "ORDER BY SUM(ol_amount) DESC"
+            ),
+            weight=share,
+            footprint=QueryFootprint(
+                rows_examined=4_000_000,
+                rows_returned=100_000,
+                sort_mb=350.0,
+                read_kb=600_000.0,
+                parallel_fraction=0.7,
+                planner_sensitivity=0.6,
+            ),
+            param_spec=("str",),
+        ),
+        QueryFamily(
+            name="adult_create_index",
+            query_type=QueryType.INDEX_CREATE,
+            template="CREATE INDEX idx_ol_tmp_%s ON order_line (ol_amount)",
+            weight=share,
+            footprint=QueryFootprint(
+                rows_examined=4_000_000,
+                rows_returned=0,
+                maintenance_mb=300.0,
+                read_kb=500_000.0,
+                write_kb=200_000.0,
+            ),
+            param_spec=("int",),
+        ),
+        QueryFamily(
+            name="adult_bulk_delete",
+            query_type=QueryType.DELETE,
+            template="DELETE FROM history WHERE h_date < %s",
+            weight=share,
+            footprint=QueryFootprint(
+                rows_examined=500_000,
+                rows_returned=0,
+                maintenance_mb=120.0,
+                read_kb=80_000.0,
+                write_kb=80_000.0,
+            ),
+            param_spec=("str",),
+        ),
+        QueryFamily(
+            name="adult_temp_table_aggregate",
+            query_type=QueryType.TEMP_TABLE,
+            template=(
+                "CREATE TEMP TABLE tmp_sales_%s AS "
+                "SELECT ol_w_id, SUM(ol_amount) FROM order_line "
+                "GROUP BY ol_w_id"
+            ),
+            weight=share,
+            footprint=QueryFootprint(
+                rows_examined=2_000_000,
+                rows_returned=0,
+                temp_mb=180.0,
+                sort_mb=90.0,
+                read_kb=300_000.0,
+                write_kb=150_000.0,
+            ),
+            param_spec=("int",),
+        ),
+    ]
+
+
+class AdulteratedTPCCWorkload(WorkloadGenerator):
+    """TPC-C plus adulteration queries at probability *adulteration_p*.
+
+    ``adulteration_p = 0`` degenerates to plain TPC-C; the paper's Figs. 3
+    and 4 use 0.8 and 0.5 against scale-factor-18 TPC-C (~21 GB).
+    """
+
+    def __init__(
+        self,
+        adulteration_p: float = 0.8,
+        rps: float = 3300.0,
+        data_size_gb: float = 21.0,
+        seed: int | np.random.Generator | None = 0,
+        sample_size: int = 200,
+    ) -> None:
+        if not 0.0 <= adulteration_p <= 1.0:
+            raise ValueError("adulteration_p must be in [0, 1]")
+        self.adulteration_p = adulteration_p
+        super().__init__(
+            f"tpcc_adulterated_{int(adulteration_p * 100)}",
+            rps,
+            data_size_gb,
+            seed=seed,
+            sample_size=sample_size,
+        )
+
+    def _build_families(self) -> list[QueryFamily]:
+        base = TPCCWorkload(seed=0)._build_families()
+        base_total = sum(f.weight for f in base)
+        p = self.adulteration_p
+        if p >= 1.0:
+            return adulteration_families(weight_total=base_total)
+        if p <= 0.0:
+            return base
+        # Scale adulteration weight so its share of the total mix equals p.
+        adult_total = base_total * p / (1.0 - p)
+        return base + adulteration_families(weight_total=adult_total)

@@ -1,0 +1,76 @@
+"""CH-benCHmark: the TPC-C + TPC-H hybrid the paper's Fig. 2 measures.
+
+CH-benCHmark runs analytic TPC-H-style queries *concurrently with* the
+TPC-C transaction mix over the same schema. The paper's Fig. 2 lists it
+as the workload whose aggregation/join queries demand hundreds of MB of
+working memory — the property that makes memory-knob throttles fire.
+
+:class:`CHBenchWorkload` composes the two standard generators: the OLTP
+side runs at the configured rate and the analytic side adds a low-rate
+stream of heavy queries (a fraction of the total, like the benchmark's
+analytical sessions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.query import QueryFamily
+from repro.workloads.tpcc import TPCCWorkload
+from repro.workloads.tpch import TPCHWorkload
+
+__all__ = ["CHBenchWorkload"]
+
+
+class CHBenchWorkload(WorkloadGenerator):
+    """TPC-C transactions with concurrent TPC-H-style analytics.
+
+    Parameters
+    ----------
+    rps:
+        Total offered rate (transactions dominate).
+    analytic_fraction:
+        Share of statements that are analytic (CH-bench runs a handful of
+        analytical sessions against thousands of transactional ones).
+    """
+
+    def __init__(
+        self,
+        rps: float = 3300.0,
+        data_size_gb: float = 24.0,
+        analytic_fraction: float = 0.002,
+        seed: int | np.random.Generator | None = 0,
+        sample_size: int = 200,
+    ) -> None:
+        if not 0.0 < analytic_fraction < 1.0:
+            raise ValueError("analytic_fraction must be in (0, 1)")
+        self.analytic_fraction = analytic_fraction
+        super().__init__(
+            "chbench", rps, data_size_gb, seed=seed, sample_size=sample_size
+        )
+
+    def _build_families(self) -> list[QueryFamily]:
+        oltp = TPCCWorkload(seed=0)._build_families()
+        olap = TPCHWorkload(seed=0)._build_families()
+        oltp_total = sum(f.weight for f in oltp)
+        olap_total = sum(f.weight for f in olap)
+        # Scale the analytic side so its share of statements equals
+        # analytic_fraction.
+        scale = (
+            oltp_total
+            * self.analytic_fraction
+            / ((1.0 - self.analytic_fraction) * olap_total)
+        )
+        rescaled = [
+            QueryFamily(
+                name=f"ch_{fam.name}",
+                query_type=fam.query_type,
+                template=fam.template,
+                weight=fam.weight * scale,
+                footprint=fam.footprint,
+                param_spec=fam.param_spec,
+            )
+            for fam in olap
+        ]
+        return oltp + rescaled

@@ -1,0 +1,203 @@
+"""Query model shared by the workload generators, DB simulator and TDE.
+
+A :class:`Query` is a typed, resource-annotated unit of work. The simulator
+does not parse SQL; instead each query carries a :class:`QueryFootprint`
+describing the resources its execution demands (working-area memory for
+sorts/joins, maintenance memory for index builds, temp-table bytes, bytes
+read and written, parallelisable fraction, planner sensitivity). These
+footprints are what drive throttles: a sort whose ``sort_mb`` exceeds
+``work_mem`` spills to disk exactly like PostgreSQL's executor would.
+
+Footprint magnitudes for the standard benchmarks follow Fig. 2 of the
+paper (e.g. TPC-C uses ~0.5 MB of working memory; the aggregation queries
+added to the adulterated TPC-C need ~350 MB).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = ["QueryType", "QueryFootprint", "QueryFamily", "Query"]
+
+
+class QueryType(enum.Enum):
+    """Broad statement type, used for read/write accounting and grouping."""
+
+    SELECT = "select"
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+    JOIN = "join"
+    AGGREGATE = "aggregate"
+    ORDER_BY = "order_by"
+    INDEX_CREATE = "index_create"
+    INDEX_DROP = "index_drop"
+    TEMP_TABLE = "temp_table"
+    ALTER_TABLE = "alter_table"
+
+    @property
+    def is_write(self) -> bool:
+        """Whether the statement dirties pages / produces WAL."""
+        return self in _WRITE_TYPES
+
+    @property
+    def is_maintenance(self) -> bool:
+        """DDL-style statements charged to maintenance working memory."""
+        return self in _MAINTENANCE_TYPES
+
+
+_WRITE_TYPES = frozenset(
+    {
+        QueryType.INSERT,
+        QueryType.UPDATE,
+        QueryType.DELETE,
+        QueryType.INDEX_CREATE,
+        QueryType.INDEX_DROP,
+        QueryType.TEMP_TABLE,
+        QueryType.ALTER_TABLE,
+    }
+)
+
+_MAINTENANCE_TYPES = frozenset(
+    {
+        QueryType.INDEX_CREATE,
+        QueryType.INDEX_DROP,
+        QueryType.DELETE,
+        QueryType.ALTER_TABLE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class QueryFootprint:
+    """Resource demand of one execution of a query.
+
+    Attributes
+    ----------
+    rows_examined / rows_returned:
+        Tuple traffic, feeds the pg_stat-style metrics.
+    sort_mb:
+        Working-area memory (MB) the executor needs for sorts, hash joins
+        and aggregations. Compared against ``work_mem`` /
+        ``sort_buffer_size``; the shortfall spills to disk.
+    maintenance_mb:
+        Memory (MB) needed by maintenance operations (index builds, bulk
+        deletes). Compared against ``maintenance_work_mem`` /
+        ``key_buffer_size``.
+    temp_mb:
+        Temporary-table bytes (MB). Compared against ``temp_buffers`` /
+        ``tmp_table_size``.
+    read_kb / write_kb:
+        Logical data read and written (KB); reads may hit the buffer pool,
+        writes dirty pages and produce WAL.
+    parallel_fraction:
+        Amdahl-style fraction of the work that parallel workers can share.
+    planner_sensitivity:
+        In [0, 1]; how strongly execution time reacts to planner-estimate
+        knobs being away from their (latent) optimum.
+    """
+
+    rows_examined: int = 1
+    rows_returned: int = 1
+    sort_mb: float = 0.0
+    maintenance_mb: float = 0.0
+    temp_mb: float = 0.0
+    read_kb: float = 4.0
+    write_kb: float = 0.0
+    parallel_fraction: float = 0.0
+    planner_sensitivity: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "sort_mb",
+            "maintenance_mb",
+            "temp_mb",
+            "read_kb",
+            "write_kb",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise ValueError("parallel_fraction must be in [0, 1]")
+        if not 0.0 <= self.planner_sensitivity <= 1.0:
+            raise ValueError("planner_sensitivity must be in [0, 1]")
+
+    def jittered(self, rng: np.random.Generator, relative: float = 0.15) -> "QueryFootprint":
+        """A copy with each positive resource scaled by ``1 ± relative``."""
+
+        def scale(value: float) -> float:
+            if value <= 0.0:
+                return value
+            return float(value * rng.uniform(1.0 - relative, 1.0 + relative))
+
+        return replace(
+            self,
+            sort_mb=scale(self.sort_mb),
+            maintenance_mb=scale(self.maintenance_mb),
+            temp_mb=scale(self.temp_mb),
+            read_kb=scale(self.read_kb),
+            write_kb=scale(self.write_kb),
+        )
+
+
+@dataclass(frozen=True)
+class QueryFamily:
+    """A parameterised query template with a fixed resource profile.
+
+    Generators emit queries by instantiating families; the DB simulator
+    costs whole batches by ``count × footprint`` per family, which keeps
+    10 000-requests-per-second experiments tractable.
+    """
+
+    name: str
+    query_type: QueryType
+    template: str
+    weight: float
+    footprint: QueryFootprint
+    param_spec: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("weight must be >= 0")
+        if not self.name:
+            raise ValueError("family name must be non-empty")
+
+    def instantiate(self, rng: np.random.Generator) -> "Query":
+        """Materialise one query with concrete parameters and jitter."""
+        params = tuple(self._draw_param(kind, rng) for kind in self.param_spec)
+        text = self.template
+        for value in params:
+            text = text.replace("%s", str(value), 1)
+        return Query(
+            family=self.name,
+            query_type=self.query_type,
+            text=text,
+            footprint=self.footprint.jittered(rng),
+        )
+
+    @staticmethod
+    def _draw_param(kind: str, rng: np.random.Generator) -> object:
+        if kind == "int":
+            return int(rng.integers(1, 1_000_000))
+        if kind == "str":
+            return "'v{:06d}'".format(int(rng.integers(0, 999_999)))
+        if kind == "float":
+            return round(float(rng.uniform(0, 10_000)), 2)
+        raise ValueError(f"unknown param kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One concrete query as it would appear in the streaming query log."""
+
+    family: str
+    query_type: QueryType
+    text: str
+    footprint: QueryFootprint
+
+    @property
+    def is_write(self) -> bool:
+        return self.query_type.is_write

@@ -1,0 +1,121 @@
+"""Query templating, after Ma et al. (SIGMOD 2018).
+
+The TDE cannot afford to examine every query on a production system, so it
+first reduces the stream to *templates*: the query text with all literal
+parameters replaced by placeholders. Queries sharing a template share a
+template id, which shrinks the population that reservoir sampling (see
+:mod:`repro.workloads.sampling`) then draws from.
+
+The paper additionally substitutes the *most frequent* concrete parameters
+back into a selected template before running EXPLAIN on it;
+:class:`TemplateCatalog` keeps per-template parameter frequency counts to
+support that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.workloads.query import Query
+
+__all__ = ["make_template", "template_id", "TemplateCatalog", "TemplateStats"]
+
+_STRING_LITERAL = re.compile(r"'(?:[^']|'')*'")
+# Numbers as standalone literals AND numeric suffixes of identifiers
+# (tmp_sales_482 and tmp_sales_91 must share a template): `_` is a word
+# character, so a plain \b would leave identifier suffixes untouched and
+# generated names would each mint a fresh template.
+_NUMBER_LITERAL = re.compile(r"(?:\b|(?<=_))\d+(?:\.\d+)?\b")
+_WHITESPACE = re.compile(r"\s+")
+
+
+def make_template(sql: str) -> str:
+    """Strip literal parameters from *sql*, returning the template text.
+
+    String literals are replaced first (so numbers inside strings are not
+    double-substituted), then bare numeric literals; whitespace is
+    normalised and keywords upper-cased are left as written (the generators
+    emit consistent casing).
+    """
+    text = _STRING_LITERAL.sub("?", sql)
+    text = _NUMBER_LITERAL.sub("?", text)
+    return _WHITESPACE.sub(" ", text).strip()
+
+
+def template_id(template: str) -> str:
+    """Stable short identifier for a template string."""
+    return hashlib.sha1(template.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class TemplateStats:
+    """Frequency bookkeeping for one template."""
+
+    template: str
+    count: int = 0
+    param_counts: Counter = field(default_factory=Counter)
+    example: Query | None = None
+
+    def most_frequent_params(self) -> tuple[str, ...]:
+        """Concrete parameters seen most often (for EXPLAIN substitution)."""
+        if not self.param_counts:
+            return ()
+        (params, _count), = self.param_counts.most_common(1)
+        return params
+
+
+class TemplateCatalog:
+    """Streaming template extractor with per-template frequencies.
+
+    Feed it the raw query stream with :meth:`observe`; read back the known
+    templates, their counts and a representative query per template.
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, TemplateStats] = {}
+        self._total = 0
+
+    def observe(self, query: Query) -> str:
+        """Record *query*, returning its template id."""
+        template = make_template(query.text)
+        tid = template_id(template)
+        stats = self._stats.get(tid)
+        if stats is None:
+            stats = TemplateStats(template=template)
+            self._stats[tid] = stats
+        stats.count += 1
+        stats.param_counts[self._extract_params(query.text)] += 1
+        stats.example = query
+        self._total += 1
+        return tid
+
+    @staticmethod
+    def _extract_params(sql: str) -> tuple[str, ...]:
+        """Literals of *sql*, in order (strings first pass, then numbers)."""
+        strings = _STRING_LITERAL.findall(sql)
+        without_strings = _STRING_LITERAL.sub("?", sql)
+        numbers = _NUMBER_LITERAL.findall(without_strings)
+        return tuple(strings + numbers)
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    @property
+    def total_observed(self) -> int:
+        """Total queries observed (not distinct templates)."""
+        return self._total
+
+    def stats(self, tid: str) -> TemplateStats:
+        """Stats for template id *tid* (KeyError if unknown)."""
+        return self._stats[tid]
+
+    def templates(self) -> dict[str, TemplateStats]:
+        """Mapping of template id to stats, insertion-ordered."""
+        return dict(self._stats)
+
+    def top_templates(self, n: int) -> list[TemplateStats]:
+        """The *n* most frequent templates."""
+        return sorted(self._stats.values(), key=lambda s: -s.count)[:n]

@@ -1,0 +1,113 @@
+"""TPC-H / CH-benCHmark analytic workload generator.
+
+The paper's Fig. 2 row "CH-Bench" shows heavy working-memory demand: large
+hash joins, sorts and aggregations that need hundreds of MB and spill to
+disk under default ``work_mem``. We model a small set of representative
+analytic query shapes (a scan-aggregate, a multi-way join, a big sort and
+a group-by) at a low request rate, as a decision-support workload would
+run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.query import QueryFamily, QueryFootprint, QueryType
+
+__all__ = ["TPCHWorkload"]
+
+
+class TPCHWorkload(WorkloadGenerator):
+    """Analytic CH-benCHmark-style queries (low rate, huge footprints)."""
+
+    def __init__(
+        self,
+        rps: float = 2.0,
+        data_size_gb: float = 24.0,
+        seed: int | np.random.Generator | None = 0,
+        sample_size: int = 100,
+    ) -> None:
+        super().__init__("tpch", rps, data_size_gb, seed=seed, sample_size=sample_size)
+
+    def _build_families(self) -> list[QueryFamily]:
+        return [
+            QueryFamily(
+                name="pricing_summary",  # Q1-like scan + aggregate
+                query_type=QueryType.AGGREGATE,
+                template=(
+                    "SELECT l_returnflag, l_linestatus, SUM(l_quantity), "
+                    "AVG(l_extendedprice) FROM lineitem "
+                    "WHERE l_shipdate <= %s "
+                    "GROUP BY l_returnflag, l_linestatus"
+                ),
+                weight=30.0,
+                footprint=QueryFootprint(
+                    rows_examined=6_000_000,
+                    rows_returned=4,
+                    sort_mb=280.0,
+                    read_kb=900_000.0,
+                    parallel_fraction=0.85,
+                    planner_sensitivity=0.7,
+                ),
+                param_spec=("str",),
+            ),
+            QueryFamily(
+                name="shipping_priority",  # Q3-like 3-way join + sort
+                query_type=QueryType.JOIN,
+                template=(
+                    "SELECT l_orderkey, SUM(l_extendedprice) AS revenue "
+                    "FROM customer, orders, lineitem "
+                    "WHERE c_mktsegment = %s AND c_custkey = o_custkey "
+                    "AND l_orderkey = o_orderkey "
+                    "GROUP BY l_orderkey ORDER BY revenue DESC"
+                ),
+                weight=30.0,
+                footprint=QueryFootprint(
+                    rows_examined=3_000_000,
+                    rows_returned=10,
+                    sort_mb=350.0,
+                    read_kb=500_000.0,
+                    parallel_fraction=0.8,
+                    planner_sensitivity=0.8,
+                ),
+                param_spec=("str",),
+            ),
+            QueryFamily(
+                name="big_sort",  # ORDER BY over a large projection
+                query_type=QueryType.ORDER_BY,
+                template=(
+                    "SELECT o_orderkey, o_totalprice FROM orders "
+                    "WHERE o_orderdate >= %s ORDER BY o_totalprice DESC"
+                ),
+                weight=20.0,
+                footprint=QueryFootprint(
+                    rows_examined=1_500_000,
+                    rows_returned=1_500_000,
+                    sort_mb=200.0,
+                    read_kb=250_000.0,
+                    parallel_fraction=0.6,
+                    planner_sensitivity=0.6,
+                ),
+                param_spec=("str",),
+            ),
+            QueryFamily(
+                name="top_supplier",  # group-by with hash aggregate
+                query_type=QueryType.AGGREGATE,
+                template=(
+                    "SELECT l_suppkey, SUM(l_extendedprice * (1 - l_discount)) "
+                    "FROM lineitem WHERE l_shipdate >= %s "
+                    "GROUP BY l_suppkey"
+                ),
+                weight=20.0,
+                footprint=QueryFootprint(
+                    rows_examined=2_000_000,
+                    rows_returned=10_000,
+                    sort_mb=160.0,
+                    read_kb=350_000.0,
+                    parallel_fraction=0.75,
+                    planner_sensitivity=0.7,
+                ),
+                param_spec=("str",),
+            ),
+        ]

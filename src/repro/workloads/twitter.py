@@ -1,0 +1,95 @@
+"""Twitter workload generator (OLTP-Bench profile).
+
+High-rate read-heavy workload (the paper drives it at 10 000 requests per
+second over 22 GB): tweet fetches, follower lists (small ORDER BY ...
+LIMIT sorts) and a thin stream of tweet inserts. The small-but-nonzero
+sorts and the follower-graph joins give it mild working-memory and
+planner sensitivity, making it land in the "mix/read-heavy" panel of
+Figs. 10–11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.query import QueryFamily, QueryFootprint, QueryType
+
+__all__ = ["TwitterWorkload"]
+
+
+class TwitterWorkload(WorkloadGenerator):
+    """Twitter with ~90% reads, small sorts and a follower-graph join."""
+
+    def __init__(
+        self,
+        rps: float = 10_000.0,
+        data_size_gb: float = 22.0,
+        seed: int | np.random.Generator | None = 0,
+        sample_size: int = 200,
+    ) -> None:
+        super().__init__(
+            "twitter", rps, data_size_gb, seed=seed, sample_size=sample_size
+        )
+
+    def _build_families(self) -> list[QueryFamily]:
+        return [
+            QueryFamily(
+                name="get_tweet",
+                query_type=QueryType.SELECT,
+                template="SELECT * FROM tweets WHERE id = %s",
+                weight=55.0,
+                footprint=QueryFootprint(
+                    rows_examined=1, rows_returned=1, read_kb=4.0
+                ),
+                param_spec=("int",),
+            ),
+            QueryFamily(
+                name="get_tweets_from_following",
+                query_type=QueryType.JOIN,
+                template=(
+                    "SELECT t.* FROM tweets t JOIN follows f ON t.uid = f.f2 "
+                    "WHERE f.f1 = %s ORDER BY t.createdate DESC LIMIT 20"
+                ),
+                weight=25.0,
+                footprint=QueryFootprint(
+                    rows_examined=300,
+                    rows_returned=20,
+                    sort_mb=0.4,
+                    read_kb=120.0,
+                    parallel_fraction=0.2,
+                    planner_sensitivity=0.5,
+                ),
+                param_spec=("int",),
+            ),
+            QueryFamily(
+                name="get_followers",
+                query_type=QueryType.ORDER_BY,
+                template=(
+                    "SELECT f2 FROM follows WHERE f1 = %s "
+                    "ORDER BY f2 LIMIT 100"
+                ),
+                weight=10.0,
+                footprint=QueryFootprint(
+                    rows_examined=150,
+                    rows_returned=100,
+                    sort_mb=0.2,
+                    read_kb=40.0,
+                    planner_sensitivity=0.3,
+                ),
+                param_spec=("int",),
+            ),
+            QueryFamily(
+                name="insert_tweet",
+                query_type=QueryType.INSERT,
+                template=(
+                    "INSERT INTO tweets (uid, text, createdate) "
+                    "VALUES (%s, %s, %s)"
+                ),
+                weight=10.0,
+                footprint=QueryFootprint(
+                    rows_examined=1, rows_returned=1, read_kb=4.0, write_kb=3.0
+                ),
+                param_spec=("int", "str", "str"),
+            ),
+        ]

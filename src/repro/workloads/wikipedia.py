@@ -1,0 +1,86 @@
+"""Wikipedia workload generator (OLTP-Bench profile).
+
+Overwhelmingly read-heavy: article fetches by title, watchlist lookups,
+occasional page edits. Like YCSB it uses no working memory (Fig. 2) —
+lookups are index point reads — so it raises memory throttles only through
+the buffer pool, and Table 1's transition #4 (Wiki → YCSB) raises none.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.query import QueryFamily, QueryFootprint, QueryType
+
+__all__ = ["WikipediaWorkload"]
+
+
+class WikipediaWorkload(WorkloadGenerator):
+    """Wikipedia with ~92% reads and small page-edit writes."""
+
+    def __init__(
+        self,
+        rps: float = 1000.0,
+        data_size_gb: float = 12.0,
+        seed: int | np.random.Generator | None = 0,
+        sample_size: int = 200,
+    ) -> None:
+        super().__init__(
+            "wikipedia", rps, data_size_gb, seed=seed, sample_size=sample_size
+        )
+
+    def _build_families(self) -> list[QueryFamily]:
+        return [
+            QueryFamily(
+                name="get_page_anonymous",
+                query_type=QueryType.SELECT,
+                template=(
+                    "SELECT page_id, page_latest FROM page "
+                    "WHERE page_namespace = %s AND page_title = %s"
+                ),
+                weight=70.0,
+                footprint=QueryFootprint(
+                    rows_examined=1, rows_returned=1, read_kb=8.0
+                ),
+                param_spec=("int", "str"),
+            ),
+            QueryFamily(
+                name="get_page_authenticated",
+                query_type=QueryType.SELECT,
+                template=(
+                    "SELECT rev_text_id FROM revision WHERE rev_id = %s"
+                ),
+                weight=22.0,
+                footprint=QueryFootprint(
+                    rows_examined=1, rows_returned=1, read_kb=12.0
+                ),
+                param_spec=("int",),
+            ),
+            QueryFamily(
+                name="add_watchlist",
+                query_type=QueryType.INSERT,
+                template=(
+                    "INSERT INTO watchlist (wl_user, wl_namespace, wl_title) "
+                    "VALUES (%s, %s, %s)"
+                ),
+                weight=1.0,
+                footprint=QueryFootprint(
+                    rows_examined=1, rows_returned=1, read_kb=4.0, write_kb=2.0
+                ),
+                param_spec=("int", "int", "str"),
+            ),
+            QueryFamily(
+                name="update_page",
+                query_type=QueryType.UPDATE,
+                template=(
+                    "UPDATE page SET page_latest = %s, page_touched = %s "
+                    "WHERE page_id = %s"
+                ),
+                weight=7.0,
+                footprint=QueryFootprint(
+                    rows_examined=1, rows_returned=1, read_kb=8.0, write_kb=16.0
+                ),
+                param_spec=("int", "str", "int"),
+            ),
+        ]

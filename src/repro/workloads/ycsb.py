@@ -1,0 +1,63 @@
+"""YCSB workload generator (workload-A-like read/update mix).
+
+Point reads and point updates on a single table by primary key. Per
+Fig. 2 of the paper YCSB "do[es] not use working memory (due to absence of
+complex queries like aggregate, joins, and order-by)", so every family has
+``sort_mb = 0``. The 50/50 mix makes it the paper's "mix" workload; its
+updates still produce enough WAL to matter under write-heavy plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.query import QueryFamily, QueryFootprint, QueryType
+
+__all__ = ["YCSBWorkload"]
+
+
+class YCSBWorkload(WorkloadGenerator):
+    """YCSB with configurable read fraction (default 0.5, workload A)."""
+
+    def __init__(
+        self,
+        rps: float = 5000.0,
+        data_size_gb: float = 20.0,
+        read_fraction: float = 0.5,
+        seed: int | np.random.Generator | None = 0,
+        sample_size: int = 200,
+    ) -> None:
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        self.read_fraction = read_fraction
+        super().__init__("ycsb", rps, data_size_gb, seed=seed, sample_size=sample_size)
+
+    def _build_families(self) -> list[QueryFamily]:
+        return [
+            QueryFamily(
+                name="read",
+                query_type=QueryType.SELECT,
+                template="SELECT * FROM usertable WHERE ycsb_key = %s",
+                weight=100.0 * self.read_fraction,
+                footprint=QueryFootprint(
+                    rows_examined=1,
+                    rows_returned=1,
+                    read_kb=4.0,
+                ),
+                param_spec=("int",),
+            ),
+            QueryFamily(
+                name="update",
+                query_type=QueryType.UPDATE,
+                template="UPDATE usertable SET field0 = %s WHERE ycsb_key = %s",
+                weight=100.0 * (1.0 - self.read_fraction),
+                footprint=QueryFootprint(
+                    rows_examined=1,
+                    rows_returned=1,
+                    read_kb=4.0,
+                    write_kb=4.0,
+                ),
+                param_spec=("str", "int"),
+            ),
+        ]

@@ -1,0 +1,78 @@
+"""Smoke tests for the experiment harnesses (reduced scale, fast)."""
+
+from repro.experiments import (
+    ablations,
+    fig02_memory_table,
+    fig03_04_entropy,
+    fig06_mdp_learning,
+    fig07_reload_iops,
+    fig08_arrival_rate,
+    fig10_11_throttles,
+    fig14_workload_shift,
+    format_table,
+    offline_train,
+)
+from repro.dbsim import postgres_catalog
+from repro.workloads import TPCCWorkload
+
+
+class TestExperimentHarnesses:
+    def test_fig02_rows_complete(self):
+        rows = fig02_memory_table.run()
+        assert [r.workload for r in rows] == ["tpcc", "tpch", "ycsb", "wikipedia"]
+
+    def test_fig03_04_separation_ordering(self):
+        strong = fig03_04_entropy.run(0.8, windows=5)
+        weak = fig03_04_entropy.run(0.5, windows=5)
+        assert fig03_04_entropy.mean_separation(strong) > 0
+        assert fig03_04_entropy.mean_separation(weak) > 0
+
+    def test_fig06_curves_well_formed(self):
+        run = fig06_mdp_learning.run(n_episodes=3, steps_per_episode=80)
+        assert len(run.episodic_rewards) == 3
+        assert len(run.cumulative_mean_accuracy()) == 3
+        assert all(0 <= a <= 1 for a in run.accuracies)
+
+    def test_fig07_relative_ordering(self):
+        comparison = fig07_reload_iops.run(duration_s=200.0)
+        assert (
+            comparison.relative_tps(comparison.reload_signal)
+            > comparison.relative_tps(comparison.socket_activation)
+        )
+
+    def test_fig08_hourly_points(self):
+        points = fig08_arrival_rate.run()
+        assert len(points) == 24
+        assert fig08_arrival_rate.daily_total(points) > 10_000_000
+
+    def test_fig10_panels_structure(self):
+        panels = fig10_11_throttles.run("postgres", iterations=4)
+        assert set(panels) == {"write-heavy", "mix/read-heavy", "production"}
+        assert len(panels["mix/read-heavy"]) == 3
+
+    def test_fig14_covers_all_transitions(self):
+        results = fig14_workload_shift.run(seed=0, settle_windows=2)
+        assert [r.spec.number for r in results] == [1, 2, 3, 4, 5, 6]
+
+    def test_ablation_slave_first(self):
+        result = ablations.ablate_slave_first()
+        assert result.slave_first_master_up and not result.master_first_master_up
+
+
+class TestCommonHelpers:
+    def test_offline_train_populates_repo(self):
+        repo = offline_train(
+            postgres_catalog(), [TPCCWorkload(rps=12_000.0, seed=1)], n_configs=4
+        )
+        assert repo.total_samples() == 4
+        assert repo.workload_ids() == ["tpcc"]
+
+    def test_format_table_alignment(self):
+        text = format_table(("a", "long_header"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_table_empty_rows(self):
+        text = format_table(("a", "b"), [])
+        assert "a" in text and "b" in text

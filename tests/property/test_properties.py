@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.stats import exponential_moving_average, percentile
+from repro.common.timeseries import TimeSeries
+from repro.core.tde.entropy import normalized_entropy
+from repro.dbsim.config import KnobConfiguration
+from repro.dbsim.knobs import postgres_catalog
+from repro.tuners.base import config_to_vector, vector_to_config
+from repro.tuners.gpr import GaussianProcessRegressor
+from repro.workloads.sampling import ReservoirSampler
+from repro.workloads.templating import make_template
+
+_CATALOG = postgres_catalog()
+
+counts = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=0, max_size=20
+)
+
+
+class TestEntropyProperties:
+    @given(counts)
+    def test_entropy_in_unit_interval(self, values):
+        h = normalized_entropy(values)
+        assert 0.0 <= h <= 1.0 + 1e-12
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=2, max_size=20))
+    def test_uniform_maximises(self, values):
+        uniform = [1.0] * len(values)
+        assert normalized_entropy(uniform) >= normalized_entropy(values) - 1e-9
+
+    @given(st.floats(min_value=0.01, max_value=1e6), st.integers(2, 12))
+    def test_scale_invariance(self, scale, n):
+        base = list(range(1, n + 1))
+        scaled = [scale * b for b in base]
+        assert normalized_entropy(base) == np.float64(
+            normalized_entropy(scaled)
+        ).item() or math.isclose(
+            normalized_entropy(base), normalized_entropy(scaled), rel_tol=1e-9
+        )
+
+    @given(counts)
+    def test_permutation_invariance(self, values):
+        shuffled = list(reversed(values))
+        assert math.isclose(
+            normalized_entropy(values),
+            normalized_entropy(shuffled),
+            rel_tol=1e-9,
+            abs_tol=1e-12,
+        )
+
+
+class TestReservoirProperties:
+    @given(st.integers(1, 30), st.integers(0, 200), st.integers(0, 2**31 - 1))
+    def test_size_invariant(self, capacity, n, seed):
+        r = ReservoirSampler(capacity, seed=seed)
+        r.observe_many(range(n))
+        assert len(r) == min(capacity, n)
+        assert r.seen == n
+
+    @given(st.integers(1, 30), st.integers(0, 200), st.integers(0, 2**31 - 1))
+    def test_sample_subset_of_stream(self, capacity, n, seed):
+        r = ReservoirSampler(capacity, seed=seed)
+        r.observe_many(range(n))
+        assert set(r.sample) <= set(range(n))
+
+    @given(st.integers(1, 30), st.integers(0, 200), st.integers(0, 2**31 - 1))
+    def test_no_duplicates_for_distinct_stream(self, capacity, n, seed):
+        r = ReservoirSampler(capacity, seed=seed)
+        r.observe_many(range(n))
+        assert len(r.sample) == len(set(r.sample))
+
+
+knob_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=len(_CATALOG),
+    max_size=len(_CATALOG),
+)
+
+
+class TestConfigProperties:
+    @given(knob_vectors)
+    def test_vector_roundtrip(self, vec):
+        config = vector_to_config(np.array(vec), _CATALOG)
+        back = config_to_vector(config)
+        assert np.allclose(back, np.clip(vec, 0.0, 1.0), atol=1e-9)
+
+    @given(knob_vectors, st.floats(min_value=300.0, max_value=20_000.0),
+           st.integers(1, 64))
+    def test_fitted_to_budget_always_fits(self, vec, limit, connections):
+        config = vector_to_config(np.array(vec), _CATALOG)
+        fitted = config.fitted_to_budget(limit, connections)
+        floors = {
+            k.name: k.min_value
+            for k in _CATALOG.memory_budget_knobs()
+            if k.name != "shared_buffers"
+        }
+        # Either it fits the (headroomed) budget, or every non-buffer
+        # memory knob is pinned at its minimum and the budget is simply
+        # impossible for this catalog.
+        footprint = fitted.memory_footprint_mb(connections)
+        at_floor = all(
+            fitted[name] <= floor + 1e-9 for name, floor in floors.items()
+        )
+        assert footprint <= limit * 0.95 + 1e-6 or at_floor
+
+    @given(knob_vectors)
+    def test_all_values_within_ranges(self, vec):
+        config = vector_to_config(np.array(vec), _CATALOG)
+        for knob in _CATALOG:
+            assert knob.min_value <= config[knob.name] <= knob.max_value
+
+
+class TestTimeSeriesProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_mean_between_min_and_max(self, values):
+        ts = TimeSeries("t")
+        ts.extend(list(enumerate(values)))
+        assert min(values) - 1e-9 <= ts.mean() <= max(values) + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+        st.floats(min_value=1.0, max_value=20.0),
+    )
+    def test_resample_preserves_bounds(self, values, bucket):
+        ts = TimeSeries("t")
+        ts.extend(list(enumerate(values)))
+        out = ts.resample_mean(bucket)
+        assert len(out) >= 1
+        assert min(values) - 1e-9 <= out.mean() <= max(values) + 1e-9
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=60),
+           st.floats(min_value=0.0, max_value=100.0))
+    def test_percentile_within_range(self, values, q):
+        p = percentile(values, q)
+        assert min(values) - 1e-6 <= p <= max(values) + 1e-6
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=60),
+           st.floats(min_value=0.01, max_value=1.0))
+    def test_ema_bounded_by_input_range(self, values, alpha):
+        out = exponential_moving_average(values, alpha)
+        assert len(out) == len(values)
+        assert all(min(values) - 1e-9 <= v <= max(values) + 1e-9 for v in out)
+
+
+class TestTemplatingProperties:
+    sql_texts = st.text(
+        alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd", "Zs"),
+                               whitelist_characters="=*,()'._"),
+        min_size=1,
+        max_size=80,
+    )
+
+    @given(sql_texts)
+    def test_template_idempotent(self, sql):
+        once = make_template(sql)
+        twice = make_template(once)
+        assert once == twice
+
+    @given(st.integers(0, 10**9), st.integers(0, 10**9))
+    def test_parameter_values_never_survive(self, a, b):
+        t1 = make_template(f"SELECT * FROM t WHERE a = {a} AND b = {b}")
+        t2 = make_template("SELECT * FROM t WHERE a = 0 AND b = 1")
+        assert t1 == t2
+
+
+class TestGPRProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 25), st.integers(0, 2**31 - 1))
+    def test_posterior_mean_finite_and_std_nonnegative(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1, size=(n, 3))
+        y = rng.normal(size=n)
+        gpr = GaussianProcessRegressor().fit(x, y)
+        grid = rng.uniform(0, 1, size=(10, 3))
+        mean, std = gpr.predict(grid, return_std=True)
+        assert np.isfinite(mean).all()
+        assert (std >= 0).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 25), st.integers(0, 2**31 - 1))
+    def test_ucb_monotone_in_kappa(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1, size=(n, 2))
+        y = rng.normal(size=n)
+        gpr = GaussianProcessRegressor().fit(x, y)
+        grid = rng.uniform(0, 1, size=(8, 2))
+        assert np.all(gpr.ucb(grid, 2.0) >= gpr.ucb(grid, 1.0) - 1e-9)

@@ -1,0 +1,34 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out and "fig15" in out
+
+    def test_run_fig02(self, capsys):
+        assert main(["run", "fig02"]) == 0
+        out = capsys.readouterr().out
+        assert "tpcc" in out and "wikipedia" in out
+
+    def test_run_fig03_with_args(self, capsys):
+        assert main(["run", "fig03", "--windows", "3", "--adulteration", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 4
+
+    def test_run_fig08(self, capsys):
+        assert main(["run", "fig08"]) == 0
+        assert "daily total" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

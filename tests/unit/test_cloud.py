@@ -1,0 +1,94 @@
+"""Unit tests for the cloud layer: monitoring, provisioner, fleet."""
+
+import pytest
+
+from repro.cloud import LiveFleet, MonitoringAgent, PAPER_PLAN_MIX, Provisioner
+
+
+class TestMonitoringAgent:
+    def test_ingest_accumulates(self, pg_db, tpcc):
+        agent = MonitoringAgent("db0")
+        agent.ingest(pg_db.run(tpcc.batch(10.0)))
+        agent.ingest(pg_db.run(tpcc.batch(10.0)))
+        assert len(agent.write_latency) == 20
+        assert len(agent.throughput) == 2
+
+    def test_window_query(self, pg_db, tpcc):
+        agent = MonitoringAgent("db0")
+        agent.ingest(pg_db.run(tpcc.batch(10.0)))
+        agent.ingest(pg_db.run(tpcc.batch(10.0)))
+        win = agent.write_latency_between(10.0, 20.0)
+        assert len(win) == 10
+        assert win.times[0] == 10.0
+
+    def test_peak_spacing_none_without_peaks(self):
+        agent = MonitoringAgent("db0")
+        assert agent.mean_peak_spacing_s(0, 100, threshold_ms=10.0) is None
+
+    def test_peak_spacing_mean(self):
+        agent = MonitoringAgent("db0")
+        # Hand-build latency with peaks at t=10 and t=30.
+        for t in range(41):
+            value = 50.0 if t in (10, 30) else 1.0
+            agent.write_latency.append(float(t), value)
+        assert agent.mean_peak_spacing_s(0, 41, threshold_ms=10.0) == 20.0
+
+
+class TestProvisioner:
+    def test_provision_and_get(self):
+        prov = Provisioner(seed=0)
+        d = prov.provision(plan="t2.medium", flavor="mysql", data_size_gb=5.0)
+        assert prov.get(d.instance_id) is d
+        assert d.service.flavor == "mysql"
+        assert d.plan == "t2.medium"
+
+    def test_ids_unique(self):
+        prov = Provisioner(seed=0)
+        ids = {prov.provision().instance_id for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_credentials_assigned(self):
+        d = Provisioner(seed=1).provision()
+        assert d.credentials.instance_id == d.instance_id
+        assert len(d.credentials.password) == 16
+
+    def test_deprovision(self):
+        prov = Provisioner(seed=0)
+        d = prov.provision()
+        prov.deprovision(d.instance_id)
+        assert len(prov) == 0
+        with pytest.raises(KeyError):
+            prov.get(d.instance_id)
+
+    def test_unknown_deprovision(self):
+        with pytest.raises(KeyError):
+            Provisioner().deprovision("nope")
+
+
+class TestLiveFleet:
+    def test_plan_mix_cycles(self):
+        fleet = LiveFleet(size=7, seed=0)
+        plans = [m.deployment.plan for m in fleet.members]
+        assert plans[:5] == list(PAPER_PLAN_MIX)
+        assert plans[5] == PAPER_PLAN_MIX[0]
+
+    def test_step_runs_every_member(self):
+        fleet = LiveFleet(size=4, seed=1)
+        results = fleet.step(30.0)
+        assert len(results) == 4
+        assert fleet.clock_s == 30.0
+        assert all(r.throughput >= 0 for _, r in results)
+
+    def test_members_have_distinct_rates(self):
+        fleet = LiveFleet(size=6, seed=2)
+        rates = {m.workload.rps for m in fleet.members}
+        assert len(rates) == 6
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            LiveFleet(size=0)
+
+    def test_monitoring_filled_by_step(self):
+        fleet = LiveFleet(size=2, seed=3)
+        fleet.step(20.0)
+        assert all(len(m.monitoring.iops) == 20 for m in fleet.members)

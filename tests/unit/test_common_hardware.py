@@ -1,0 +1,41 @@
+"""Unit tests for repro.common.hardware (VM and disk catalog)."""
+
+import pytest
+
+from repro.common.hardware import HDD, SSD, VM_TYPES, vm_type
+
+
+class TestVMCatalog:
+    def test_paper_plans_present(self):
+        for name in ("t2.small", "t2.medium", "m4.large", "t2.large", "m4.xlarge"):
+            assert name in VM_TYPES
+
+    def test_fig2_vm_present(self):
+        assert "t3.xlarge" in VM_TYPES
+
+    def test_lookup(self):
+        vm = vm_type("m4.xlarge")
+        assert vm.vcpus == 4
+        assert vm.memory_mb == 16_384
+
+    def test_unknown_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="m4.xlarge"):
+            vm_type("m9.mega")
+
+    def test_db_memory_limit_leaves_headroom(self):
+        for vm in VM_TYPES.values():
+            assert vm.db_memory_limit_mb < vm.memory_mb
+            assert vm.memory_mb - vm.db_memory_limit_mb >= 256.0
+
+    def test_memory_ordering(self):
+        assert vm_type("t2.small").memory_mb < vm_type("t2.medium").memory_mb
+        assert vm_type("t2.medium").memory_mb < vm_type("m4.xlarge").memory_mb
+
+
+class TestDiskKinds:
+    def test_ssd_faster_than_hdd(self):
+        assert SSD.base_latency_ms < HDD.base_latency_ms
+        assert SSD.max_iops > HDD.max_iops
+
+    def test_default_disk_is_ssd(self):
+        assert vm_type("m4.large").disk == SSD

@@ -1,0 +1,48 @@
+"""Unit tests for repro.common.rng."""
+
+import numpy as np
+
+from repro.common.rng import derive_rng, make_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42)
+        b = make_rng(42)
+        assert a.integers(0, 1000) == b.integers(0, 1000)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1)
+        b = make_rng(2)
+        draws_a = a.integers(0, 1_000_000, size=8)
+        draws_b = b.integers(0, 1_000_000, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(5)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestDeriveRng:
+    def test_deterministic_per_label(self):
+        child1 = derive_rng(make_rng(9), "alpha")
+        child2 = derive_rng(make_rng(9), "alpha")
+        assert child1.integers(0, 10**9) == child2.integers(0, 10**9)
+
+    def test_labels_independent(self):
+        parent = make_rng(9)
+        a = derive_rng(parent, "a")
+        parent2 = make_rng(9)
+        b = derive_rng(parent2, "b")
+        assert a.integers(0, 10**9) != b.integers(0, 10**9)
+
+    def test_derivation_advances_parent(self):
+        parent = make_rng(9)
+        before = make_rng(9).integers(0, 10**9)
+        derive_rng(parent, "x")
+        after = parent.integers(0, 10**9)
+        # The parent consumed one draw during derivation.
+        assert after != before

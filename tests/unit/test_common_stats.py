@@ -1,0 +1,38 @@
+"""Unit tests for repro.common.stats."""
+
+import pytest
+
+from repro.common.stats import exponential_moving_average, percentile
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_p99_of_uniform(self):
+        values = list(range(101))
+        assert percentile(values, 99) == pytest.approx(99.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestEMA:
+    def test_alpha_one_is_identity(self):
+        assert exponential_moving_average([1.0, 5.0, 2.0], 1.0) == [1.0, 5.0, 2.0]
+
+    def test_smoothing(self):
+        out = exponential_moving_average([0.0, 10.0], 0.5)
+        assert out == [0.0, 5.0]
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            exponential_moving_average([1.0], 0.0)
+
+    def test_empty_input(self):
+        assert exponential_moving_average([], 0.5) == []

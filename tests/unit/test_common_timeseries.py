@@ -1,0 +1,94 @@
+"""Unit tests for repro.common.timeseries."""
+
+import numpy as np
+import pytest
+
+from repro.common.timeseries import TimeSeries
+
+
+def series(pairs):
+    ts = TimeSeries("t")
+    ts.extend(pairs)
+    return ts
+
+
+class TestAppend:
+    def test_append_and_len(self):
+        ts = series([(0, 1.0), (1, 2.0)])
+        assert len(ts) == 2
+
+    def test_rejects_non_monotonic(self):
+        ts = series([(5, 1.0)])
+        with pytest.raises(ValueError, match="non-monotonic"):
+            ts.append(4, 2.0)
+
+    def test_allows_equal_timestamps(self):
+        ts = series([(5, 1.0)])
+        ts.append(5, 2.0)
+        assert len(ts) == 2
+
+    def test_iteration_yields_pairs(self):
+        ts = series([(0, 1.0), (2, 3.0)])
+        assert list(ts) == [(0.0, 1.0), (2.0, 3.0)]
+
+
+class TestReductions:
+    def test_mean(self):
+        assert series([(0, 2.0), (1, 4.0)]).mean() == 3.0
+
+    def test_mean_empty_is_zero(self):
+        assert TimeSeries("x").mean() == 0.0
+
+    def test_max(self):
+        assert series([(0, 2.0), (1, 9.0), (2, 4.0)]).max() == 9.0
+
+    def test_std_single_sample_is_zero(self):
+        assert series([(0, 2.0)]).std() == 0.0
+
+    def test_std_matches_numpy(self):
+        values = [1.0, 5.0, 3.0, 8.0]
+        ts = series(list(enumerate(values)))
+        assert ts.std() == pytest.approx(float(np.std(values)))
+
+
+class TestWindow:
+    def test_window_half_open(self):
+        ts = series([(0, 1.0), (5, 2.0), (10, 3.0)])
+        win = ts.window(0, 10)
+        assert len(win) == 2
+        assert win.values.tolist() == [1.0, 2.0]
+
+    def test_window_empty(self):
+        ts = series([(0, 1.0)])
+        assert len(ts.window(5, 10)) == 0
+
+
+class TestPeaks:
+    def test_finds_local_maximum(self):
+        ts = series([(0, 1.0), (1, 5.0), (2, 1.0), (3, 7.0), (4, 1.0)])
+        assert ts.peaks(threshold=2.0) == [1.0, 3.0]
+
+    def test_threshold_filters(self):
+        ts = series([(0, 1.0), (1, 3.0), (2, 1.0)])
+        assert ts.peaks(threshold=5.0) == []
+
+    def test_endpoints_not_peaks(self):
+        ts = series([(0, 10.0), (1, 1.0), (2, 10.0)])
+        assert ts.peaks(threshold=0.0) == []
+
+
+class TestResample:
+    def test_resample_mean_buckets(self):
+        ts = series([(0, 1.0), (1, 3.0), (2, 5.0), (3, 7.0)])
+        out = ts.resample_mean(2.0)
+        assert out.values.tolist() == [2.0, 6.0]
+
+    def test_resample_preserves_name(self):
+        ts = series([(0, 1.0)])
+        assert ts.resample_mean(10.0).name == ts.name
+
+    def test_resample_with_gap(self):
+        ts = series([(0, 2.0), (10, 4.0)])
+        out = ts.resample_mean(2.0)
+        assert len(out) == 2
+        assert out.values.tolist() == [2.0, 4.0]

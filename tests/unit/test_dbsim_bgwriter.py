@@ -1,0 +1,161 @@
+"""Unit tests for the write-back scheduler (checkpointer/bgwriter/vacuum)."""
+
+import numpy as np
+import pytest
+
+from repro.dbsim.bgwriter import WriteBackParams, WriteBackScheduler
+from repro.dbsim.config import KnobConfiguration
+
+
+class TestParams:
+    def test_postgres_flush_rate(self, pg_catalog):
+        cfg = KnobConfiguration(pg_catalog)  # 100 pages * 8KB every 200 ms
+        params = WriteBackParams.from_config(cfg)
+        assert params.bg_flush_mb_s == pytest.approx(100 * 8 / 1024 * 5, rel=1e-6)
+        assert params.checkpoint_interval_s == 300
+        assert params.forced_dirty_limit_mb is None
+
+    def test_mysql_has_forced_dirty_limit(self, my_catalog):
+        cfg = KnobConfiguration(my_catalog)
+        params = WriteBackParams.from_config(cfg)
+        assert params.forced_dirty_limit_mb == pytest.approx(0.75 * 128)
+
+    def test_faster_bgwriter_with_lower_delay(self, pg_catalog):
+        slow = WriteBackParams.from_config(
+            KnobConfiguration(pg_catalog, {"bgwriter_delay": 1000})
+        )
+        fast = WriteBackParams.from_config(
+            KnobConfiguration(pg_catalog, {"bgwriter_delay": 50})
+        )
+        assert fast.bg_flush_mb_s > slow.bg_flush_mb_s
+
+
+class TestScheduler:
+    def test_timed_checkpoint_fires(self, pg_catalog):
+        cfg = KnobConfiguration(pg_catalog, {"checkpoint_timeout": 60})
+        sched = WriteBackScheduler(vacuum_interval_s=10_000)
+        result = sched.run_window(cfg, dirty_mb_total=600.0, duration_s=200)
+        assert result.checkpoints_timed >= 2
+
+    def test_wal_full_checkpoint_requested(self, pg_catalog):
+        cfg = KnobConfiguration(
+            pg_catalog, {"checkpoint_timeout": 3600, "max_wal_size": 64}
+        )
+        sched = WriteBackScheduler(vacuum_interval_s=10_000)
+        result = sched.run_window(cfg, dirty_mb_total=2000.0, duration_s=120)
+        assert result.checkpoints_requested >= 1
+
+    def test_bgwriter_reduces_checkpoint_burden(self, pg_catalog):
+        """A faster background writer leaves less for the checkpointer."""
+        sched_slow = WriteBackScheduler(vacuum_interval_s=10_000)
+        slow = sched_slow.run_window(
+            KnobConfiguration(pg_catalog, {"bgwriter_lru_maxpages": 10}),
+            dirty_mb_total=1200.0,
+            duration_s=400,
+        )
+        sched_fast = WriteBackScheduler(vacuum_interval_s=10_000)
+        fast = sched_fast.run_window(
+            KnobConfiguration(pg_catalog, {"bgwriter_lru_maxpages": 1000}),
+            dirty_mb_total=1200.0,
+            duration_s=400,
+        )
+        assert fast.bgwriter_write_mb > slow.bgwriter_write_mb
+        assert fast.checkpoint_write_mb < slow.checkpoint_write_mb
+
+    def test_write_volume_conserved(self, pg_catalog):
+        """All dirty MB eventually leave via bgwriter or checkpointer."""
+        cfg = KnobConfiguration(pg_catalog, {"checkpoint_timeout": 50})
+        sched = WriteBackScheduler(vacuum_interval_s=10**9)
+        total_in = 500.0
+        result = sched.run_window(cfg, dirty_mb_total=total_in, duration_s=300)
+        total_out = (
+            result.bgwriter_write_mb
+            + result.checkpoint_write_mb
+            + result.backend_write_mb
+            + sched.dirty_backlog_mb
+            + sched._active_rate_mb_s * sched._active_remaining_s
+        )
+        assert total_out == pytest.approx(total_in, rel=0.01)
+
+    def test_backend_writes_on_backlog_overflow(self, pg_catalog):
+        """Dirty pages beyond the buffer pool are flushed by backends."""
+        cfg = KnobConfiguration(
+            pg_catalog,
+            {"checkpoint_timeout": 3600, "max_wal_size": 16_384,
+             "bgwriter_lru_maxpages": 0, "shared_buffers": 128},
+        )
+        sched = WriteBackScheduler(vacuum_interval_s=10**9)
+        result = sched.run_window(cfg, dirty_mb_total=1000.0, duration_s=100)
+        assert result.backend_write_mb > 800.0
+        assert sched.dirty_backlog_mb <= 0.9 * 128 + 1e-6
+
+    def test_bigger_buffer_absorbs_more_dirty(self, pg_catalog):
+        cfg_big = KnobConfiguration(
+            pg_catalog,
+            {"checkpoint_timeout": 3600, "max_wal_size": 16_384,
+             "bgwriter_lru_maxpages": 0, "shared_buffers": 4096},
+        )
+        sched = WriteBackScheduler(vacuum_interval_s=10**9)
+        result = sched.run_window(cfg_big, dirty_mb_total=1000.0, duration_s=100)
+        assert result.backend_write_mb == 0.0
+
+    def test_vacuum_fires_on_interval(self, pg_catalog):
+        cfg = KnobConfiguration(pg_catalog)
+        sched = WriteBackScheduler(vacuum_interval_s=30, vacuum_write_mb=10.0)
+        result = sched.run_window(cfg, dirty_mb_total=10.0, duration_s=100)
+        assert len(result.vacuum_times) == 3
+        assert result.vacuum_write_mb == pytest.approx(30.0)
+
+    def test_state_persists_across_windows(self, pg_catalog):
+        cfg = KnobConfiguration(pg_catalog, {"checkpoint_timeout": 100})
+        sched = WriteBackScheduler(vacuum_interval_s=10_000)
+        first = sched.run_window(cfg, dirty_mb_total=50.0, duration_s=60)
+        assert first.checkpoints_timed == 0
+        second = sched.run_window(
+            cfg, dirty_mb_total=50.0, duration_s=60, start_time_s=60.0
+        )
+        assert second.checkpoints_timed == 1
+
+    def test_reset_clears_state(self, pg_catalog):
+        cfg = KnobConfiguration(pg_catalog)
+        sched = WriteBackScheduler()
+        sched.run_window(cfg, dirty_mb_total=100.0, duration_s=30)
+        sched.reset()
+        assert sched.dirty_backlog_mb == 0.0
+        assert sched.wal_since_checkpoint_mb == 0.0
+
+    def test_wal_written_with_amplification(self, pg_catalog):
+        cfg = KnobConfiguration(pg_catalog)
+        sched = WriteBackScheduler(vacuum_interval_s=10_000)
+        result = sched.run_window(cfg, dirty_mb_total=100.0, duration_s=50)
+        assert float(np.sum(result.wal_write_mb_s)) == pytest.approx(110.0, rel=0.01)
+
+    def test_invalid_inputs(self, pg_catalog):
+        cfg = KnobConfiguration(pg_catalog)
+        sched = WriteBackScheduler()
+        with pytest.raises(ValueError):
+            sched.run_window(cfg, dirty_mb_total=-1.0, duration_s=10)
+        with pytest.raises(ValueError):
+            sched.run_window(cfg, dirty_mb_total=1.0, duration_s=0)
+        with pytest.raises(ValueError):
+            WriteBackScheduler(vacuum_interval_s=0)
+
+    def test_checkpoint_spread_controls_burst(self, pg_catalog):
+        """Higher completion target spreads checkpoint writes over longer."""
+        sharp_cfg = KnobConfiguration(
+            pg_catalog,
+            {"checkpoint_timeout": 100, "checkpoint_completion_target": 0.1,
+             "bgwriter_lru_maxpages": 0},
+        )
+        spread_cfg = KnobConfiguration(
+            pg_catalog,
+            {"checkpoint_timeout": 100, "checkpoint_completion_target": 0.9,
+             "bgwriter_lru_maxpages": 0},
+        )
+        sharp = WriteBackScheduler(vacuum_interval_s=10**9).run_window(
+            sharp_cfg, 400.0, 300
+        )
+        spread = WriteBackScheduler(vacuum_interval_s=10**9).run_window(
+            spread_cfg, 400.0, 300
+        )
+        assert sharp.data_write_mb_s.max() > spread.data_write_mb_s.max()

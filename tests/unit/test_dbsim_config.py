@@ -1,0 +1,136 @@
+"""Unit tests for KnobConfiguration (validation, budget, repair)."""
+
+import pytest
+
+from repro.dbsim.config import (
+    KnobConfiguration,
+    MemoryBudgetError,
+    effective_sessions,
+)
+
+
+class TestConstruction:
+    def test_defaults(self, pg_catalog):
+        cfg = KnobConfiguration(pg_catalog)
+        assert cfg["work_mem"] == 4
+
+    def test_override(self, pg_catalog):
+        cfg = KnobConfiguration(pg_catalog, {"work_mem": 64})
+        assert cfg["work_mem"] == 64
+
+    def test_out_of_range_rejected(self, pg_catalog):
+        with pytest.raises(ValueError, match="work_mem"):
+            KnobConfiguration(pg_catalog, {"work_mem": 10**9})
+
+    def test_unknown_knob_rejected(self, pg_catalog):
+        with pytest.raises(KeyError):
+            KnobConfiguration(pg_catalog, {"nope": 1})
+
+    def test_equality_and_hash(self, pg_catalog):
+        a = KnobConfiguration(pg_catalog, {"work_mem": 8})
+        b = KnobConfiguration(pg_catalog, {"work_mem": 8})
+        c = KnobConfiguration(pg_catalog, {"work_mem": 9})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+class TestDerivation:
+    def test_with_values_does_not_mutate(self, pg_catalog):
+        a = KnobConfiguration(pg_catalog)
+        b = a.with_values({"work_mem": 128})
+        assert a["work_mem"] == 4
+        assert b["work_mem"] == 128
+
+    def test_clamped(self, pg_catalog):
+        cfg = KnobConfiguration(pg_catalog).clamped({"work_mem": 10**9})
+        assert cfg["work_mem"] == pg_catalog.get("work_mem").max_value
+
+    def test_diff(self, pg_catalog):
+        a = KnobConfiguration(pg_catalog)
+        b = a.with_values({"work_mem": 99, "temp_buffers": 77})
+        diff = a.diff(b)
+        assert diff == {"work_mem": (4.0, 99.0), "temp_buffers": (8.0, 77.0)}
+
+
+class TestMemoryBudget:
+    def test_effective_sessions_discount(self):
+        assert effective_sessions(20) == 5.0
+        assert effective_sessions(1) == 1.0
+
+    def test_footprint_components(self, pg_catalog):
+        cfg = KnobConfiguration(
+            pg_catalog, {"shared_buffers": 1000, "work_mem": 100}
+        )
+        fp1 = cfg.memory_footprint_mb(1)
+        fp20 = cfg.memory_footprint_mb(20)
+        assert fp20 > fp1
+        assert fp1 >= 1000 + 100
+
+    def test_budget_check_passes(self, pg_catalog):
+        cfg = KnobConfiguration(pg_catalog)
+        cfg.check_memory_budget(4096.0, active_connections=10)
+
+    def test_budget_check_raises(self, pg_catalog):
+        cfg = KnobConfiguration(
+            pg_catalog, {"shared_buffers": 60_000, "work_mem": 4_000}
+        )
+        with pytest.raises(MemoryBudgetError, match="buffer"):
+            cfg.check_memory_budget(8192.0, active_connections=20)
+
+    def test_invalid_connections(self, pg_catalog):
+        with pytest.raises(ValueError):
+            KnobConfiguration(pg_catalog).memory_footprint_mb(0)
+
+
+class TestFittedToBudget:
+    def test_already_fitting_returned_unchanged(self, pg_catalog):
+        cfg = KnobConfiguration(pg_catalog)
+        assert cfg.fitted_to_budget(8192.0, 10) is cfg
+
+    def test_buffer_capped_to_share(self, pg_catalog):
+        cfg = KnobConfiguration(pg_catalog, {"shared_buffers": 60_000})
+        fitted = cfg.fitted_to_budget(8000.0, 10, buffer_share=0.7)
+        assert fitted["shared_buffers"] <= 0.7 * 0.95 * 8000.0 + 1e-6
+
+    def test_working_areas_scaled(self, pg_catalog):
+        cfg = KnobConfiguration(
+            pg_catalog,
+            {"work_mem": 4000, "maintenance_work_mem": 4000, "temp_buffers": 2000},
+        )
+        fitted = cfg.fitted_to_budget(8000.0, 20)
+        fitted.check_memory_budget(8000.0 * 1.001, 20)
+        # Relative proportions preserved under uniform scaling.
+        assert fitted["work_mem"] == pytest.approx(
+            fitted["maintenance_work_mem"], rel=0.01
+        )
+
+    def test_result_always_within_knob_ranges(self, pg_catalog):
+        cfg = KnobConfiguration(
+            pg_catalog, {"work_mem": 4000, "shared_buffers": 60_000}
+        )
+        fitted = cfg.fitted_to_budget(300.0, 50)
+        for knob in pg_catalog:
+            assert knob.min_value <= fitted[knob.name] <= knob.max_value
+
+    def test_mysql_flavor(self, my_catalog):
+        cfg = KnobConfiguration(
+            my_catalog, {"innodb_buffer_pool_size": 60_000, "sort_buffer_size": 900}
+        )
+        fitted = cfg.fitted_to_budget(4000.0, 20)
+        assert fitted["innodb_buffer_pool_size"] < 60_000
+        assert fitted["sort_buffer_size"] < 900
+
+
+class TestClassValues:
+    def test_values_for_class(self, pg_catalog):
+        from repro.dbsim.knobs import KnobClass
+
+        cfg = KnobConfiguration(pg_catalog)
+        bg = cfg.values_for_class(KnobClass.BGWRITER)
+        assert "checkpoint_timeout" in bg
+        assert "work_mem" not in bg
+
+    def test_buffer_pool_mb_per_flavor(self, pg_catalog, my_catalog):
+        assert KnobConfiguration(pg_catalog).buffer_pool_mb() == 128
+        assert KnobConfiguration(my_catalog).buffer_pool_mb() == 128

@@ -1,0 +1,115 @@
+"""Unit tests for knob definitions and catalogs."""
+
+import pytest
+
+from repro.dbsim.knobs import (
+    KnobClass,
+    KnobDef,
+    KnobUnit,
+    catalog_for,
+    mysql_catalog,
+    postgres_catalog,
+)
+
+
+class TestKnobDef:
+    def test_default_must_be_in_range(self):
+        with pytest.raises(ValueError):
+            KnobDef("k", KnobClass.MEMORY, KnobUnit.MEGABYTES, 10, 20, 30)
+
+    def test_clamp(self):
+        knob = KnobDef("k", KnobClass.MEMORY, KnobUnit.MEGABYTES, 10, 5, 20)
+        assert knob.clamp(100) == 20
+        assert knob.clamp(1) == 5
+        assert knob.clamp(12) == 12
+
+
+class TestPostgresCatalog:
+    def test_three_classes_present(self):
+        cat = postgres_catalog()
+        for cls in KnobClass:
+            assert cat.by_class(cls), f"no knobs in class {cls}"
+
+    def test_paper_knobs_present(self):
+        cat = postgres_catalog()
+        for name in (
+            "shared_buffers",
+            "work_mem",
+            "maintenance_work_mem",
+            "temp_buffers",
+            "checkpoint_timeout",
+            "bgwriter_delay",
+            "random_page_cost",
+            "effective_cache_size",
+        ):
+            assert name in cat
+
+    def test_shared_buffers_restart_required(self):
+        cat = postgres_catalog()
+        assert cat.get("shared_buffers").restart_required
+        assert not cat.get("work_mem").restart_required
+
+    def test_knob_classes_match_paper(self):
+        cat = postgres_catalog()
+        assert cat.get("work_mem").knob_class is KnobClass.MEMORY
+        assert cat.get("checkpoint_timeout").knob_class is KnobClass.BGWRITER
+        assert cat.get("random_page_cost").knob_class is KnobClass.ASYNC_PLANNER
+
+    def test_unknown_knob_error_names_flavor(self):
+        with pytest.raises(KeyError, match="postgres"):
+            postgres_catalog().get("innodb_buffer_pool_size")
+
+    def test_defaults_match_pg96(self):
+        cat = postgres_catalog()
+        assert cat.get("work_mem").default == 4
+        assert cat.get("shared_buffers").default == 128
+        assert cat.get("checkpoint_timeout").default == 300
+        assert cat.get("random_page_cost").default == 4.0
+
+
+class TestMySQLCatalog:
+    def test_paper_knobs_present(self):
+        cat = mysql_catalog()
+        for name in (
+            "innodb_buffer_pool_size",
+            "sort_buffer_size",
+            "join_buffer_size",
+            "key_buffer_size",
+            "tmp_table_size",
+        ):
+            assert name in cat
+
+    def test_buffer_pool_restart_required(self):
+        assert mysql_catalog().get("innodb_buffer_pool_size").restart_required
+
+    def test_three_classes_present(self):
+        cat = mysql_catalog()
+        for cls in KnobClass:
+            assert cat.by_class(cls)
+
+
+class TestCatalogBehaviour:
+    def test_catalog_for(self):
+        assert catalog_for("postgres").flavor == "postgres"
+        assert catalog_for("mysql").flavor == "mysql"
+
+    def test_catalog_for_unknown(self):
+        with pytest.raises(ValueError):
+            catalog_for("oracle")
+
+    def test_defaults_complete(self):
+        cat = postgres_catalog()
+        defaults = cat.defaults()
+        assert set(defaults) == set(cat.names())
+
+    def test_memory_budget_knobs_are_mb_memory(self):
+        for knob in postgres_catalog().memory_budget_knobs():
+            assert knob.knob_class is KnobClass.MEMORY
+            assert knob.unit is KnobUnit.MEGABYTES
+
+    def test_duplicate_knob_rejected(self):
+        from repro.dbsim.knobs import KnobCatalog
+
+        k = KnobDef("dup", KnobClass.MEMORY, KnobUnit.MEGABYTES, 1, 0, 2)
+        with pytest.raises(ValueError, match="duplicate"):
+            KnobCatalog("x", [k, k])

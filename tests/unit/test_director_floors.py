@@ -1,0 +1,102 @@
+"""Unit tests for the director's throttle-directed knob floors."""
+
+from repro.core.director import ConfigDirector, LeastLoadedBalancer, TunerInstance
+from repro.dbsim.config import KnobConfiguration
+from repro.dbsim.metrics import MetricsDelta
+from repro.tuners import Recommendation, TuningRequest
+from repro.tuners.base import Tuner
+
+
+class _RegressingTuner(Tuner):
+    """Always recommends tiny working areas (an indifferent surrogate)."""
+
+    name = "regressor"
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+
+    def observe(self, sample):
+        pass
+
+    def recommend(self, request):
+        config = request.config.with_values(
+            {"work_mem": 1, "maintenance_work_mem": 8}
+        )
+        return Recommendation(request.instance_id, config, self.name)
+
+    def recommendation_cost_s(self):
+        return 1.0
+
+
+def _request(pg_catalog, knobs=(), work_mem=4.0, cls="memory"):
+    return TuningRequest(
+        "svc-1",
+        "w",
+        KnobConfiguration(pg_catalog, {"work_mem": work_mem}),
+        MetricsDelta({}),
+        throttle_class=cls if knobs else None,
+        throttle_knobs=knobs,
+    )
+
+
+def _director(pg_catalog):
+    return ConfigDirector(
+        LeastLoadedBalancer([TunerInstance("t0", _RegressingTuner(pg_catalog))])
+    )
+
+
+class TestKnobFloors:
+    def test_throttle_raises_floor_over_regression(self, pg_catalog):
+        director = _director(pg_catalog)
+        split = director.handle_tuning_request(
+            _request(pg_catalog, ("work_mem",), work_mem=16.0)
+        )
+        # The tuner said 1 MB; the floor (2 x current) wins.
+        assert split.reloadable["work_mem"] == 32.0
+
+    def test_floor_persists_across_requests(self, pg_catalog):
+        director = _director(pg_catalog)
+        director.handle_tuning_request(
+            _request(pg_catalog, ("work_mem",), work_mem=16.0)
+        )
+        # Next request throttles on a different knob; work_mem keeps its floor.
+        split = director.handle_tuning_request(
+            _request(pg_catalog, ("maintenance_work_mem",), work_mem=32.0)
+        )
+        assert split.reloadable["work_mem"] >= 32.0
+        assert split.reloadable["maintenance_work_mem"] >= 128.0
+
+    def test_floors_grow_monotonically(self, pg_catalog):
+        director = _director(pg_catalog)
+        for work_mem in (4.0, 8.0, 16.0):
+            split = director.handle_tuning_request(
+                _request(pg_catalog, ("work_mem",), work_mem=work_mem)
+            )
+        assert split.reloadable["work_mem"] == 32.0
+
+    def test_non_memory_throttles_do_not_floor(self, pg_catalog):
+        director = _director(pg_catalog)
+        split = director.handle_tuning_request(
+            _request(
+                pg_catalog, ("random_page_cost",), cls="async_planner"
+            )
+        )
+        assert split.reloadable["work_mem"] == 1.0  # tuner's value, unfloored
+
+    def test_requests_without_throttles_do_not_floor(self, pg_catalog):
+        director = _director(pg_catalog)
+        split = director.handle_tuning_request(_request(pg_catalog))
+        assert split.reloadable["work_mem"] == 1.0
+
+
+class TestFloorClassFilter:
+    def test_mixed_class_throttle_floors_only_memory_knobs(self, pg_catalog):
+        """A memory throttle whose knob list unions a planner knob must
+        not ratchet the planner knob."""
+        director = _director(pg_catalog)
+        split = director.handle_tuning_request(
+            _request(pg_catalog, ("work_mem", "random_page_cost"), work_mem=16.0)
+        )
+        assert split.reloadable["work_mem"] == 32.0
+        floors = director._knob_floors["svc-1"]
+        assert "random_page_cost" not in floors

@@ -1,0 +1,65 @@
+"""Unit tests for restart-cost physics (cold cache, shutdown checkpoint)."""
+
+import pytest
+
+from repro.dbsim import SimulatedDatabase
+from repro.workloads import TPCCWorkload, YCSBWorkload
+
+
+class TestColdCache:
+    def test_restart_cools_the_buffer_pool(self):
+        """Post-restart windows run at a reduced hit ratio, then recover."""
+        db = SimulatedDatabase("postgres", "m4.large", 8.0, seed=1)
+        db.config = db.config.with_values({"shared_buffers": 2048})
+        workload = YCSBWorkload(rps=500.0, data_size_gb=8.0, seed=2)
+        warm = db.run(workload.batch(30.0, start_time_s=db.clock_s))
+        db.apply_config(db.config, mode="restart")
+        cold = db.run(workload.batch(30.0, start_time_s=db.clock_s))
+        warming = db.run(workload.batch(30.0, start_time_s=db.clock_s))
+        recovered = db.run(workload.batch(30.0, start_time_s=db.clock_s))
+        assert cold.hit_ratio < warming.hit_ratio < recovered.hit_ratio
+        assert recovered.hit_ratio == pytest.approx(warm.hit_ratio)
+
+    def test_heal_also_cools(self):
+        db = SimulatedDatabase("postgres", "m4.large", 8.0, seed=1)
+        db.config = db.config.with_values({"shared_buffers": 2048})
+        workload = YCSBWorkload(rps=500.0, data_size_gb=8.0, seed=2)
+        warm = db.run(workload.batch(30.0, start_time_s=db.clock_s))
+        db.crashed = True
+        db.heal()
+        cold = db.run(workload.batch(30.0, start_time_s=db.clock_s))
+        assert cold.hit_ratio < warm.hit_ratio
+
+
+class TestShutdownCheckpoint:
+    def test_dirty_backlog_extends_restart_stall(self):
+        """A write-heavy window before restart makes the restart longer."""
+        clean = SimulatedDatabase("postgres", "m4.large", 26.0, seed=3)
+        dirty = SimulatedDatabase("postgres", "m4.large", 26.0, seed=3)
+        dirty.config = dirty.config.with_values({"shared_buffers": 4096})
+        clean.config = dirty.config
+        # Only the dirty instance accumulates a backlog first.
+        dirty.run(TPCCWorkload(seed=4).batch(60.0))
+        clean._pending_stall_s = 0.0
+        dirty._pending_stall_s = 0.0
+        clean.apply_config(clean.config, mode="restart")
+        dirty.apply_config(dirty.config, mode="restart")
+        assert dirty._pending_stall_s > clean._pending_stall_s
+
+    def test_frequent_restarts_are_not_free(self):
+        """Restarting every window must lose throughput vs not restarting."""
+        steady = SimulatedDatabase("postgres", "m4.large", 26.0, seed=5)
+        churner = SimulatedDatabase("postgres", "m4.large", 26.0, seed=5)
+        workload_a = TPCCWorkload(rps=1500.0, seed=6)
+        workload_b = TPCCWorkload(rps=1500.0, seed=6)
+        steady_tps = []
+        churn_tps = []
+        for _ in range(6):
+            steady_tps.append(
+                steady.run(workload_a.batch(60.0, start_time_s=steady.clock_s)).throughput
+            )
+            churn_tps.append(
+                churner.run(workload_b.batch(60.0, start_time_s=churner.clock_s)).throughput
+            )
+            churner.apply_config(churner.config, mode="restart")
+        assert sum(churn_tps) < sum(steady_tps) * 0.9

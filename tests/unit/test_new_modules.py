@@ -1,0 +1,130 @@
+"""Unit tests for CH-bench, workload-change detection and metrics export."""
+
+import pytest
+
+from repro.cloud import MonitoringAgent, render_agent_metrics, render_counters
+from repro.core.tde import WorkloadChangeDetector, hellinger_distance
+from repro.workloads import CHBenchWorkload, TPCCWorkload, YCSBWorkload
+
+
+class TestCHBench:
+    def test_mixes_both_sides(self):
+        workload = CHBenchWorkload(seed=1)
+        names = set(workload.families)
+        assert "new_order" in names
+        assert "ch_pricing_summary" in names
+
+    def test_analytic_fraction_respected(self):
+        workload = CHBenchWorkload(rps=10_000.0, analytic_fraction=0.01, seed=1)
+        batch = workload.batch(60.0)
+        analytic = sum(
+            count for name, count in batch.counts.items() if name.startswith("ch_")
+        )
+        share = analytic / batch.total_queries
+        assert 0.005 < share < 0.02
+
+    def test_needs_working_memory(self):
+        """Fig. 2: CH-bench is the heavy working-memory workload."""
+        workload = CHBenchWorkload(seed=1)
+        assert max(f.footprint.sort_mb for f in workload.families.values()) >= 300.0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            CHBenchWorkload(analytic_fraction=0.0)
+
+
+class TestHellinger:
+    def test_identical_distributions(self):
+        p = {"a": 0.5, "b": 0.5}
+        assert hellinger_distance(p, dict(p)) == pytest.approx(0.0)
+
+    def test_disjoint_supports(self):
+        assert hellinger_distance({"a": 1.0}, {"b": 1.0}) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        p = {"a": 0.7, "b": 0.3}
+        q = {"a": 0.2, "b": 0.5, "c": 0.3}
+        assert hellinger_distance(p, q) == pytest.approx(hellinger_distance(q, p))
+
+    def test_empty_distributions(self):
+        assert hellinger_distance({}, {}) == 0.0
+
+
+class TestWorkloadChangeDetector:
+    def test_same_workload_no_change(self):
+        detector = WorkloadChangeDetector(threshold=0.5)
+        workload = TPCCWorkload(seed=1)
+        for _ in range(4):
+            batch = workload.batch(30.0)
+            change = detector.observe_window(batch.sampled_queries)
+        assert change is None
+        assert detector.changes == []
+
+    def test_workload_switch_detected(self):
+        detector = WorkloadChangeDetector(threshold=0.5)
+        tpcc = TPCCWorkload(seed=1)
+        ycsb = YCSBWorkload(seed=2)
+        detector.observe_window(tpcc.batch(30.0).sampled_queries)
+        detector.observe_window(tpcc.batch(30.0).sampled_queries)
+        change = detector.observe_window(ycsb.batch(30.0).sampled_queries)
+        assert change is not None
+        assert change.distance > 0.9
+        assert change.appeared  # ycsb templates arrived
+        assert change.disappeared  # tpcc templates vanished
+
+    def test_first_window_never_a_change(self):
+        detector = WorkloadChangeDetector()
+        assert detector.observe_window(
+            TPCCWorkload(seed=1).batch(10.0).sampled_queries
+        ) is None
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadChangeDetector(threshold=0.0)
+
+
+class TestMetricsExport:
+    def _agent_with_data(self, pg_db, tpcc):
+        agent = MonitoringAgent("svc-01")
+        agent.ingest(pg_db.run(tpcc.batch(10.0)))
+        return agent
+
+    def test_agent_metrics_rendered(self, pg_db, tpcc):
+        text = render_agent_metrics(self._agent_with_data(pg_db, tpcc))
+        assert 'repro_throughput_tps{instance="svc-01"}' in text
+        assert "# TYPE repro_disk_iops gauge" in text
+
+    def test_empty_agent_renders_headers_only(self):
+        text = render_agent_metrics(MonitoringAgent("empty"))
+        assert "repro_throughput_tps{" not in text
+        assert "# HELP" in text
+
+    def test_counters_rendered(self):
+        text = render_counters(
+            {"svc-01": {"memory": 3, "background_writer": 1}}, 12
+        )
+        assert (
+            'repro_throttles_total{instance="svc-01",knob_class="memory"} 3'
+            in text
+        )
+        assert "repro_tuning_requests_total 12" in text
+
+    def test_label_escaping(self):
+        text = render_counters({'svc"x': {"memory": 1}}, 0)
+        assert 'instance="svc\\"x"' in text
+
+
+class TestIdleWindowBaseline:
+    def test_idle_window_does_not_reset_baseline(self):
+        """An empty window must neither hide nor fake a pattern change."""
+        detector = WorkloadChangeDetector(threshold=0.5)
+        tpcc = TPCCWorkload(seed=1)
+        detector.observe_window(tpcc.batch(30.0).sampled_queries)
+        assert detector.observe_window([]) is None
+        # The baseline is still TPCC: a same-workload window is quiet...
+        assert detector.observe_window(tpcc.batch(30.0).sampled_queries) is None
+        # ...and a genuine switch is still caught.
+        change = detector.observe_window(
+            YCSBWorkload(seed=2).batch(30.0).sampled_queries
+        )
+        assert change is not None

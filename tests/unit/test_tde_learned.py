@@ -1,0 +1,79 @@
+"""Unit tests for the learned (rule-free) throttle detector (§7)."""
+
+import pytest
+
+from repro.core.tde import (
+    LabelledWindow,
+    LearnedThrottleDetector,
+    ThrottlingDetectionEngine,
+)
+from repro.dbsim import KnobClass, SimulatedDatabase
+from repro.tuners import WorkloadRepository
+from repro.workloads import AdulteratedTPCCWorkload, YCSBWorkload
+
+
+def _collect_windows(n_each=8, seed=0):
+    """Labelled windows from a spilling and a quiet deployment."""
+    windows = []
+    spilly = SimulatedDatabase("postgres", "m4.xlarge", 21.0, seed=seed)
+    tde = ThrottlingDetectionEngine("svc", spilly, WorkloadRepository(), seed=seed)
+    workload = AdulteratedTPCCWorkload(0.8, data_size_gb=21.0, seed=seed + 1)
+    for _ in range(n_each):
+        result = spilly.run(workload.batch(30.0, start_time_s=spilly.clock_s))
+        windows.append(LearnedThrottleDetector.shadow(tde, result))
+
+    quiet = SimulatedDatabase("postgres", "m4.xlarge", 2.0, seed=seed + 2)
+    quiet.config = quiet.config.with_values(
+        {"shared_buffers": 2048, "work_mem": 512}
+    )
+    quiet_tde = ThrottlingDetectionEngine(
+        "svc", quiet, WorkloadRepository(),
+        enabled_classes={KnobClass.MEMORY}, seed=seed + 3,
+    )
+    calm = YCSBWorkload(rps=200.0, data_size_gb=2.0, seed=seed + 4)
+    for _ in range(n_each):
+        result = quiet.run(calm.batch(30.0, start_time_s=quiet.clock_s))
+        windows.append(LearnedThrottleDetector.shadow(quiet_tde, result))
+    return windows
+
+
+class TestLearnedDetector:
+    def test_learns_memory_class_from_metrics(self):
+        windows = _collect_windows(n_each=10, seed=0)
+        detector = LearnedThrottleDetector(seed=1)
+        loss = detector.fit(windows, epochs=200)
+        assert loss < 0.4
+        scores = detector.score(windows)
+        assert scores["memory"] >= 0.9
+
+    def test_predicts_spill_window_and_quiet_window(self):
+        windows = _collect_windows(n_each=10, seed=0)
+        detector = LearnedThrottleDetector(seed=1)
+        detector.fit(windows, epochs=200)
+        spill_window = windows[0]
+        quiet_window = windows[-1]
+        assert KnobClass.MEMORY in detector.predict_classes(spill_window.metrics)
+        assert KnobClass.MEMORY not in detector.predict_classes(quiet_window.metrics)
+
+    def test_inspect_emits_throttles(self):
+        windows = _collect_windows(n_each=10, seed=0)
+        detector = LearnedThrottleDetector(seed=1)
+        detector.fit(windows, epochs=200)
+        db = SimulatedDatabase("postgres", "m4.xlarge", 21.0, seed=9)
+        workload = AdulteratedTPCCWorkload(0.8, data_size_gb=21.0, seed=10)
+        result = db.run(workload.batch(30.0))
+        throttles = detector.inspect(result)
+        assert any(t.knob_class is KnobClass.MEMORY for t in throttles)
+        assert all(t.reason == "learned detector prediction" for t in throttles)
+
+    def test_predict_before_fit_rejected(self):
+        detector = LearnedThrottleDetector(seed=1)
+        from repro.dbsim.metrics import MetricsDelta
+
+        with pytest.raises(RuntimeError):
+            detector.predict_classes(MetricsDelta({}))
+
+    def test_too_few_windows_rejected(self):
+        detector = LearnedThrottleDetector(seed=1)
+        with pytest.raises(ValueError):
+            detector.fit(_collect_windows(n_each=1, seed=0)[:2])

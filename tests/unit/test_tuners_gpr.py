@@ -1,0 +1,79 @@
+"""Unit tests for the from-scratch Gaussian process regressor."""
+
+import numpy as np
+import pytest
+
+from repro.tuners.gpr import GaussianProcessRegressor
+
+
+def _wave(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, 2))
+    y = np.sin(4 * x[:, 0]) + 0.5 * x[:, 1]
+    return x, y
+
+
+class TestFit:
+    def test_interpolates_training_points(self):
+        x, y = _wave()
+        gpr = GaussianProcessRegressor(noise_variance=1e-4).fit(x, y)
+        pred = gpr.predict(x)
+        assert np.max(np.abs(pred - y)) < 0.05
+
+    def test_generalises_smooth_function(self):
+        x, y = _wave(n=80)
+        gpr = GaussianProcessRegressor().fit(x, y)
+        x_test, y_test = _wave(n=20, seed=99)
+        pred = gpr.predict(x_test)
+        assert np.mean(np.abs(pred - y_test)) < 0.25
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegressor().predict(np.zeros((1, 2)))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(length_scale=0.0)
+
+    def test_constant_targets_handled(self):
+        x = np.random.default_rng(0).uniform(0, 1, size=(10, 2))
+        gpr = GaussianProcessRegressor().fit(x, np.full(10, 5.0))
+        assert gpr.predict(x)[0] == pytest.approx(5.0, abs=0.1)
+
+
+class TestUncertainty:
+    def test_std_small_at_training_points(self):
+        x, y = _wave()
+        gpr = GaussianProcessRegressor(noise_variance=1e-4).fit(x, y)
+        _, std_train = gpr.predict(x, return_std=True)
+        _, std_far = gpr.predict(np.array([[5.0, 5.0]]), return_std=True)
+        assert std_train.mean() < std_far[0]
+
+    def test_ucb_above_mean(self):
+        x, y = _wave()
+        gpr = GaussianProcessRegressor().fit(x, y)
+        grid = np.random.default_rng(1).uniform(0, 1, size=(10, 2))
+        mean = gpr.predict(grid)
+        ucb = gpr.ucb(grid, kappa=2.0)
+        assert np.all(ucb >= mean)
+
+    def test_kappa_zero_is_mean(self):
+        x, y = _wave()
+        gpr = GaussianProcessRegressor().fit(x, y)
+        grid = np.random.default_rng(1).uniform(0, 1, size=(5, 2))
+        assert np.allclose(gpr.ucb(grid, kappa=0.0), gpr.predict(grid))
+
+    def test_n_train(self):
+        x, y = _wave(n=13)
+        gpr = GaussianProcessRegressor()
+        assert gpr.n_train == 0
+        gpr.fit(x, y)
+        assert gpr.n_train == 13

@@ -1,0 +1,98 @@
+"""Unit tests for the hybrid tuner and JSON persistence."""
+
+import pytest
+
+from repro.core.director import ConfigRepository
+from repro.dbsim.config import KnobConfiguration
+from repro.dbsim.metrics import MetricsDelta
+from repro.tuners import (
+    HybridTuner,
+    TrainingSample,
+    TuningRequest,
+    WorkloadRepository,
+    load_config_history,
+    load_repository,
+    save_config_history,
+    save_repository,
+)
+
+
+def _request(pg_catalog, wid="w"):
+    return TuningRequest(
+        "svc", wid, KnobConfiguration(pg_catalog), MetricsDelta({})
+    )
+
+
+class TestHybridTuner:
+    def test_routes_bo_first_then_rl(self, pg_catalog, trained_repo):
+        tuner = HybridTuner(pg_catalog, trained_repo, bo_every=3, seed=0)
+        members = []
+        for _ in range(6):
+            rec = tuner.recommend(_request(pg_catalog, wid="tpcc"))
+            members.append(tuner.last_member)
+            assert rec.source.startswith("hybrid/")
+        assert members == ["ottertune", "cdbtune", "cdbtune"] * 2
+
+    def test_workloads_counted_independently(self, pg_catalog, trained_repo):
+        tuner = HybridTuner(pg_catalog, trained_repo, bo_every=2, seed=0)
+        tuner.recommend(_request(pg_catalog, wid="a"))
+        assert tuner.last_member == "ottertune"
+        tuner.recommend(_request(pg_catalog, wid="b"))
+        assert tuner.last_member == "ottertune"
+
+    def test_observe_feeds_both_members(self, pg_catalog):
+        tuner = HybridTuner(pg_catalog, WorkloadRepository(), seed=0)
+        sample = TrainingSample(
+            "w", KnobConfiguration(pg_catalog), MetricsDelta({})
+        )
+        tuner.observe(sample)
+        assert tuner.repository.total_samples() == 1
+        assert "w" in tuner.rl._initial_tps
+
+    def test_amortised_cost_between_members(self, pg_catalog, trained_repo):
+        tuner = HybridTuner(pg_catalog, trained_repo, bo_every=4, seed=0)
+        cost = tuner.recommendation_cost_s()
+        assert tuner.rl.recommendation_cost_s() < cost
+        assert cost < tuner.bo.recommendation_cost_s()
+
+    def test_bo_every_validation(self, pg_catalog):
+        with pytest.raises(ValueError):
+            HybridTuner(pg_catalog, bo_every=0)
+
+
+class TestRepositoryPersistence:
+    def test_roundtrip(self, pg_catalog, trained_repo, tmp_path):
+        path = tmp_path / "repo.json"
+        count = save_repository(trained_repo, path)
+        assert count == trained_repo.total_samples()
+        loaded = load_repository(path)
+        assert loaded.total_samples() == trained_repo.total_samples()
+        assert loaded.workload_ids() == trained_repo.workload_ids()
+        original = trained_repo.dataset("tpcc")
+        restored = loaded.dataset("tpcc")
+        assert restored.objective.tolist() == original.objective.tolist()
+        assert restored.configs.tolist() == original.configs.tolist()
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99, "samples": []}')
+        with pytest.raises(ValueError, match="version"):
+            load_repository(path)
+
+
+class TestConfigHistoryPersistence:
+    def test_roundtrip(self, pg_catalog, tmp_path):
+        configs = ConfigRepository()
+        for i, value in enumerate((100, 200, 300)):
+            configs.store(
+                "svc-1",
+                KnobConfiguration(pg_catalog, {"shared_buffers": value}),
+                "ottertune",
+                float(i),
+            )
+        path = tmp_path / "configs.json"
+        assert save_config_history(configs, ["svc-1"], path) == 3
+        loaded = load_config_history(path)
+        history = loaded.history("svc-1")
+        assert [v.config["shared_buffers"] for v in history] == [100, 200, 300]
+        assert history[-1].source == "ottertune"

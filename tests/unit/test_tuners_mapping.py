@@ -1,0 +1,66 @@
+"""Unit tests for OtterTune-style workload mapping."""
+
+import numpy as np
+
+from repro.dbsim.config import KnobConfiguration
+from repro.dbsim.metrics import MetricsDelta
+from repro.tuners import TrainingSample, WorkloadMapper, WorkloadRepository
+
+
+def _populate(repo, pg_catalog, wid, tps_base, n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        work_mem = float(rng.uniform(4, 512))
+        metrics = MetricsDelta(
+            {
+                "throughput_tps": tps_base + work_mem * 0.1,
+                "wal_mb": tps_base * 3.0,
+                "blks_read": tps_base * 10.0,
+            }
+        )
+        repo.add(
+            TrainingSample(
+                wid, KnobConfiguration(pg_catalog, {"work_mem": work_mem}), metrics
+            )
+        )
+
+
+class TestMapping:
+    def test_maps_to_similar_workload(self, pg_catalog):
+        repo = WorkloadRepository()
+        _populate(repo, pg_catalog, "target", tps_base=100.0, seed=1)
+        _populate(repo, pg_catalog, "twin", tps_base=105.0, seed=2)
+        _populate(repo, pg_catalog, "stranger", tps_base=9000.0, seed=3)
+        mapping = WorkloadMapper(repo).map_workload("target")
+        assert mapping.mapped
+        assert mapping.best_workload_id == "twin"
+        assert mapping.scores["twin"] < mapping.scores["stranger"]
+
+    def test_excludes_target_by_default(self, pg_catalog):
+        repo = WorkloadRepository()
+        _populate(repo, pg_catalog, "target", 100.0)
+        _populate(repo, pg_catalog, "other", 5000.0)
+        mapping = WorkloadMapper(repo).map_workload("target")
+        assert mapping.best_workload_id == "other"
+
+    def test_can_include_target(self, pg_catalog):
+        repo = WorkloadRepository()
+        _populate(repo, pg_catalog, "target", 100.0)
+        mapping = WorkloadMapper(repo).map_workload("target", exclude_target=False)
+        assert mapping.best_workload_id == "target"
+
+    def test_unknown_target_unmapped(self, pg_catalog):
+        repo = WorkloadRepository()
+        _populate(repo, pg_catalog, "other", 100.0)
+        mapping = WorkloadMapper(repo).map_workload("missing")
+        assert not mapping.mapped
+
+    def test_empty_repo_unmapped(self):
+        mapping = WorkloadMapper(WorkloadRepository()).map_workload("x")
+        assert mapping.best_workload_id is None
+
+    def test_nbins_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            WorkloadMapper(WorkloadRepository(), n_bins=1)

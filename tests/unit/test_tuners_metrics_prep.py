@@ -1,0 +1,93 @@
+"""Unit tests for factor-analysis + k-means metric pruning."""
+
+import numpy as np
+import pytest
+
+from repro.tuners.metrics_prep import factor_embedding, kmeans, prune_metrics
+
+
+def _metric_matrix(n=60, seed=0):
+    """Three groups of correlated metrics + one constant column."""
+    rng = np.random.default_rng(seed)
+    base_a = rng.normal(size=n)
+    base_b = rng.normal(size=n)
+    base_c = rng.normal(size=n)
+    cols = [
+        base_a,
+        base_a * 2 + rng.normal(0, 0.01, n),
+        base_b,
+        base_b * -1 + rng.normal(0, 0.01, n),
+        base_c,
+        np.full(n, 3.0),  # constant
+    ]
+    names = ("a1", "a2", "b1", "b2", "c1", "const")
+    return np.column_stack(cols), names
+
+
+class TestFactorEmbedding:
+    def test_shape(self):
+        x, _ = _metric_matrix()
+        emb = factor_embedding(x, n_factors=3)
+        assert emb.shape == (6, 3)
+
+    def test_correlated_metrics_embed_close(self):
+        x, _ = _metric_matrix()
+        emb = factor_embedding(x, n_factors=3)
+        d_corr = np.linalg.norm(emb[0] - emb[1])
+        d_uncorr = np.linalg.norm(emb[0] - emb[4])
+        assert d_corr < d_uncorr
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            factor_embedding(np.zeros((1, 4)))
+
+
+class TestKMeans:
+    def test_separated_clusters_found(self):
+        rng = np.random.default_rng(0)
+        pts = np.vstack(
+            [rng.normal(0, 0.1, (20, 2)), rng.normal(10, 0.1, (20, 2))]
+        )
+        labels, centroids = kmeans(pts, 2)
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert labels[0] != labels[20]
+
+    def test_deterministic(self):
+        pts = np.random.default_rng(1).normal(size=(30, 3))
+        l1, c1 = kmeans(pts, 4)
+        l2, c2 = kmeans(pts, 4)
+        assert np.array_equal(l1, l2)
+        assert np.allclose(c1, c2)
+
+    def test_k_validation(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            kmeans(pts, 0)
+        with pytest.raises(ValueError):
+            kmeans(pts, 4)
+
+
+class TestPruneMetrics:
+    def test_drops_constant_metric(self):
+        x, names = _metric_matrix()
+        kept = prune_metrics(x, names, n_clusters=3)
+        assert "const" not in kept
+
+    def test_keeps_one_per_correlated_group(self):
+        x, names = _metric_matrix()
+        kept = prune_metrics(x, names, n_clusters=3)
+        assert not ({"a1", "a2"} <= set(kept))
+        assert not ({"b1", "b2"} <= set(kept))
+
+    def test_covers_independent_signal(self):
+        x, names = _metric_matrix()
+        kept = prune_metrics(x, names, n_clusters=3)
+        assert "c1" in kept
+
+    def test_name_length_validated(self):
+        with pytest.raises(ValueError):
+            prune_metrics(np.zeros((5, 3)), ("a", "b"))
+
+    def test_all_constant_returns_empty(self):
+        assert prune_metrics(np.ones((5, 3)), ("a", "b", "c")) == []

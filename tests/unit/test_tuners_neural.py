@@ -1,0 +1,104 @@
+"""Unit tests for the numpy MLP/Adam toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.tuners.neural import MLP, Adam, soft_update
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        net = MLP([3, 8, 2], seed=0)
+        out = net(np.zeros((5, 3)))
+        assert out.shape == (5, 2)
+
+    def test_sigmoid_output_bounded(self):
+        net = MLP([3, 8, 4], output="sigmoid", seed=0)
+        out = net(np.random.default_rng(0).normal(size=(10, 3)) * 10)
+        assert np.all(out > 0.0) and np.all(out < 1.0)
+
+    def test_deterministic_init(self):
+        a = MLP([3, 4, 1], seed=7)
+        b = MLP([3, 4, 1], seed=7)
+        x = np.ones((1, 3))
+        assert a(x).tolist() == b(x).tolist()
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            MLP([3])
+
+    def test_invalid_output(self):
+        with pytest.raises(ValueError):
+            MLP([3, 1], output="softmax")
+
+    def test_backward_before_forward_rejected(self):
+        net = MLP([2, 2], seed=0)
+        with pytest.raises(RuntimeError):
+            net.backward(np.zeros((1, 2)))
+
+    def test_gradients_match_finite_differences(self):
+        net = MLP([2, 4, 1], seed=3)
+        x = np.array([[0.3, -0.7]])
+        target = np.array([[0.5]])
+
+        def loss():
+            return 0.5 * float(((net(x) - target) ** 2).sum())
+
+        base = net(x)
+        grads, _ = net.backward(base - target)
+        eps = 1e-6
+        w = net.weights[0]
+        for idx in [(0, 0), (1, 2)]:
+            original = w[idx]
+            w[idx] = original + eps
+            up = loss()
+            w[idx] = original - eps
+            down = loss()
+            w[idx] = original
+            numeric = (up - down) / (2 * eps)
+            assert grads[0][idx] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_copy_from(self):
+        a = MLP([2, 3, 1], seed=0)
+        b = MLP([2, 3, 1], seed=99)
+        b.copy_from(a)
+        x = np.ones((1, 2))
+        assert a(x).tolist() == b(x).tolist()
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        net = MLP([1, 8, 1], seed=0)
+        opt = Adam(net.parameters(), lr=0.01)
+        rng = np.random.default_rng(1)
+        for _ in range(400):
+            x = rng.uniform(-1, 1, size=(16, 1))
+            y = x**2
+            pred = net(x)
+            grads, _ = net.backward((pred - y) / len(x))
+            opt.step(grads)
+        x_test = np.array([[0.5], [-0.5], [0.0]])
+        assert np.max(np.abs(net(x_test) - x_test**2)) < 0.1
+
+    def test_grad_mismatch_rejected(self):
+        net = MLP([2, 1], seed=0)
+        opt = Adam(net.parameters())
+        with pytest.raises(ValueError):
+            opt.step([np.zeros((2, 1))])
+
+
+class TestSoftUpdate:
+    def test_polyak_moves_toward_source(self):
+        target = MLP([2, 2], seed=0)
+        source = MLP([2, 2], seed=1)
+        before = target.weights[0].copy()
+        soft_update(target, source, tau=0.5)
+        after = target.weights[0]
+        expected = 0.5 * before + 0.5 * source.weights[0]
+        assert np.allclose(after, expected)
+
+    def test_tau_one_copies(self):
+        target = MLP([2, 2], seed=0)
+        source = MLP([2, 2], seed=1)
+        soft_update(target, source, tau=1.0)
+        assert np.allclose(target.weights[0], source.weights[0])

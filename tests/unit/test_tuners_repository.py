@@ -1,0 +1,84 @@
+"""Unit tests for the central workload repository."""
+
+import numpy as np
+import pytest
+
+from repro.dbsim.config import KnobConfiguration
+from repro.dbsim.metrics import MetricsDelta
+from repro.tuners import TrainingSample, WorkloadRepository
+
+
+def _sample(pg_catalog, wid="w0", tps=10.0, work_mem=4.0):
+    return TrainingSample(
+        wid,
+        KnobConfiguration(pg_catalog, {"work_mem": work_mem}),
+        MetricsDelta({"throughput_tps": tps, "wal_mb": tps * 2}),
+    )
+
+
+class TestStorage:
+    def test_add_and_fetch(self, pg_catalog):
+        repo = WorkloadRepository()
+        repo.add(_sample(pg_catalog))
+        assert repo.workload_ids() == ["w0"]
+        assert repo.total_samples() == 1
+
+    def test_unknown_workload_empty(self):
+        repo = WorkloadRepository()
+        assert repo.samples("nope") == []
+        assert repo.dataset("nope").size == 0
+
+    def test_dataset_matrices(self, pg_catalog):
+        repo = WorkloadRepository()
+        repo.add(_sample(pg_catalog, tps=1.0, work_mem=4))
+        repo.add(_sample(pg_catalog, tps=2.0, work_mem=64))
+        ds = repo.dataset("w0")
+        assert ds.configs.shape == (2, len(pg_catalog))
+        assert ds.metrics.shape == (2, len(repo.metric_names))
+        assert ds.objective.tolist() == [1.0, 2.0]
+
+    def test_all_metric_rows(self, pg_catalog):
+        repo = WorkloadRepository()
+        repo.add(_sample(pg_catalog, "a"))
+        repo.add(_sample(pg_catalog, "b"))
+        assert repo.all_metric_rows().shape[0] == 2
+
+
+class TestQuality:
+    def test_varied_samples_score_higher_than_flat(self, pg_catalog):
+        repo = WorkloadRepository()
+        for i in range(6):
+            repo.add(_sample(pg_catalog, "varied", tps=10.0 * (i + 1)))
+            repo.add(_sample(pg_catalog, "flat", tps=10.0))
+        assert repo.quality_score("varied") > repo.quality_score("flat")
+
+    def test_single_sample_scores_zero(self, pg_catalog):
+        repo = WorkloadRepository()
+        repo.add(_sample(pg_catalog))
+        assert repo.quality_score("w0") == 0.0
+
+
+class TestSync:
+    def test_sync_pulls_missing(self, pg_catalog):
+        src = WorkloadRepository()
+        dst = WorkloadRepository()
+        src.add(_sample(pg_catalog, "a"))
+        src.add(_sample(pg_catalog, "a", tps=2.0))
+        assert dst.sync_from(src) == 2
+        assert dst.total_samples() == 2
+
+    def test_sync_is_incremental(self, pg_catalog):
+        src = WorkloadRepository()
+        dst = WorkloadRepository()
+        src.add(_sample(pg_catalog, "a"))
+        dst.sync_from(src)
+        src.add(_sample(pg_catalog, "a", tps=3.0))
+        assert dst.sync_from(src) == 1
+        assert dst.total_samples() == 2
+
+    def test_sync_noop_when_current(self, pg_catalog):
+        src = WorkloadRepository()
+        dst = WorkloadRepository()
+        src.add(_sample(pg_catalog))
+        dst.sync_from(src)
+        assert dst.sync_from(src) == 0

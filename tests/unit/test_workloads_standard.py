@@ -1,0 +1,165 @@
+"""Unit tests for the standard workload generators (paper characteristics)."""
+
+import pytest
+
+from repro.workloads import (
+    AdulteratedTPCCWorkload,
+    ProductionWorkload,
+    TPCCWorkload,
+    TPCHWorkload,
+    TwitterWorkload,
+    WikipediaWorkload,
+    YCSBWorkload,
+)
+from repro.workloads.production import diurnal_profile
+
+
+class TestTPCC:
+    def test_standard_mix_weights(self, tpcc):
+        weights = {name: f.weight for name, f in tpcc.families.items()}
+        assert weights["new_order"] == 45.0
+        assert weights["payment"] == 43.0
+
+    def test_write_heavy(self, tpcc):
+        batch = tpcc.batch(30.0)
+        assert batch.write_fraction > 0.8
+
+    def test_fig2_tiny_working_memory(self, tpcc):
+        """Fig. 2: TPC-C uses ~0.5 MB of working memory — all sorts small."""
+        max_sort = max(f.footprint.sort_mb for f in tpcc.families.values())
+        assert max_sort <= 0.5
+
+    def test_paper_defaults(self):
+        w = TPCCWorkload()
+        assert w.rps == 3300.0
+        assert w.data_size_gb == 26.0
+
+
+class TestYCSB:
+    def test_no_working_memory(self, ycsb):
+        """Fig. 2: YCSB queries do not use working memory."""
+        assert all(f.footprint.sort_mb == 0.0 for f in ycsb.families.values())
+
+    def test_mix_ratio(self):
+        w = YCSBWorkload(read_fraction=0.5, seed=0)
+        batch = w.batch(10.0)
+        ratio = batch.counts["read"] / max(batch.counts["update"], 1)
+        assert 0.8 < ratio < 1.25
+
+    def test_read_fraction_validation(self):
+        with pytest.raises(ValueError):
+            YCSBWorkload(read_fraction=1.5)
+
+    def test_paper_defaults(self):
+        w = YCSBWorkload()
+        assert w.rps == 5000.0
+        assert w.data_size_gb == 20.0
+
+
+class TestWikipedia:
+    def test_read_heavy(self):
+        batch = WikipediaWorkload(seed=0).batch(30.0)
+        assert batch.write_fraction < 0.15
+
+    def test_no_working_memory(self):
+        w = WikipediaWorkload()
+        assert all(f.footprint.sort_mb == 0.0 for f in w.families.values())
+
+    def test_paper_defaults(self):
+        w = WikipediaWorkload()
+        assert w.rps == 1000.0
+        assert w.data_size_gb == 12.0
+
+
+class TestTwitter:
+    def test_read_heavy_high_rate(self):
+        w = TwitterWorkload()
+        assert w.rps == 10_000.0
+        batch = w.batch(10.0)
+        assert batch.write_fraction < 0.2
+
+    def test_has_small_sorts(self):
+        w = TwitterWorkload()
+        sorts = [f.footprint.sort_mb for f in w.families.values()]
+        assert 0.0 < max(sorts) < 2.0
+
+
+class TestTPCH:
+    def test_huge_working_memory(self):
+        """Fig. 2: CH-bench needs hundreds of MB of working memory."""
+        w = TPCHWorkload()
+        assert max(f.footprint.sort_mb for f in w.families.values()) >= 300.0
+
+    def test_low_rate_analytic(self):
+        assert TPCHWorkload().rps <= 10.0
+
+    def test_parallelisable(self):
+        w = TPCHWorkload()
+        assert all(
+            f.footprint.parallel_fraction >= 0.5 for f in w.families.values()
+        )
+
+
+class TestAdulterated:
+    def test_zero_probability_is_plain_tpcc(self):
+        w = AdulteratedTPCCWorkload(0.0, seed=0)
+        assert not any("adult" in name for name in w.families)
+
+    def test_full_probability_only_adulteration(self):
+        w = AdulteratedTPCCWorkload(1.0, seed=0)
+        assert all(name.startswith("adult_") for name in w.families)
+
+    def test_adulteration_share_matches_p(self):
+        w = AdulteratedTPCCWorkload(0.8, seed=1)
+        batch = w.batch(30.0)
+        adult = sum(c for n, c in batch.counts.items() if n.startswith("adult_"))
+        share = adult / batch.total_queries
+        assert 0.75 < share < 0.85
+
+    def test_covers_all_memory_categories(self):
+        """§3.1: adulteration triggers work_mem, maintenance, temp knobs."""
+        w = AdulteratedTPCCWorkload(0.5, seed=0)
+        fams = [f.footprint for f in w.families.values()]
+        assert any(f.sort_mb > 100 for f in fams)
+        assert any(f.maintenance_mb > 100 for f in fams)
+        assert any(f.temp_mb > 100 for f in fams)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            AdulteratedTPCCWorkload(1.2)
+
+    def test_fig2_aggregate_needs_350mb(self):
+        w = AdulteratedTPCCWorkload(0.8, seed=0)
+        agg = w.families["adult_complex_aggregate"].footprint
+        assert agg.sort_mb == pytest.approx(350.0)
+
+
+class TestProduction:
+    def test_mix_matches_published_counts(self):
+        w = ProductionWorkload(seed=0)
+        batch = w.batch(60.0, start_time_s=12 * 3600)
+        # INSERT dominates ~1000:1 over everything else combined.
+        inserts = batch.counts["telemetry_insert"]
+        others = batch.total_queries - inserts
+        assert inserts > 200 * max(others, 1)
+
+    def test_diurnal_profile_shape(self):
+        assert diurnal_profile(3.0) < diurnal_profile(9.0) < diurnal_profile(12.0)
+        assert diurnal_profile(12.0) > diurnal_profile(20.0)
+
+    def test_surge_in_morning_window(self):
+        """Fig. 8 / §5: usage surges 8–11 AM."""
+        assert diurnal_profile(11.0) / diurnal_profile(7.0) > 2.0
+
+    def test_profile_wraps_at_24h(self):
+        assert diurnal_profile(25.0) == diurnal_profile(1.0)
+
+    def test_rate_at_daily_noise_is_stable_within_day(self):
+        w = ProductionWorkload(seed=1)
+        r1 = w.rate_at(12 * 3600.0)
+        r2 = w.rate_at(12 * 3600.0 + 30.0)
+        assert r1 == pytest.approx(r2)
+
+    def test_mean_rps_default_matches_42M_per_day(self):
+        w = ProductionWorkload()
+        assert w.rps == pytest.approx(42_130_000 / 86_400, rel=1e-6)

@@ -1,0 +1,108 @@
+"""Unit tests for query templating."""
+
+import numpy as np
+
+from repro.workloads.query import QueryFamily, QueryFootprint, QueryType
+from repro.workloads.templating import TemplateCatalog, make_template, template_id
+
+
+class TestMakeTemplate:
+    def test_strips_numbers(self):
+        assert make_template("SELECT * FROM t WHERE id = 42") == (
+            "SELECT * FROM t WHERE id = ?"
+        )
+
+    def test_strips_strings(self):
+        out = make_template("SELECT * FROM t WHERE name = 'bob'")
+        assert "'bob'" not in out
+        assert "?" in out
+
+    def test_numbers_inside_strings_not_double_stripped(self):
+        out = make_template("UPDATE t SET v = 'a1b2' WHERE id = 7")
+        assert out == "UPDATE t SET v = ? WHERE id = ?"
+
+    def test_whitespace_normalised(self):
+        assert make_template("SELECT  *\n FROM t") == "SELECT * FROM t"
+
+    def test_same_template_for_different_params(self):
+        a = make_template("SELECT * FROM t WHERE id = 1")
+        b = make_template("SELECT * FROM t WHERE id = 999")
+        assert a == b
+
+
+class TestTemplateId:
+    def test_stable(self):
+        assert template_id("abc") == template_id("abc")
+
+    def test_distinct(self):
+        assert template_id("a") != template_id("b")
+
+    def test_short(self):
+        assert len(template_id("query")) == 12
+
+
+def _query(text, family="f"):
+    from repro.workloads.query import Query
+
+    return Query(family, QueryType.SELECT, text, QueryFootprint())
+
+
+class TestTemplateCatalog:
+    def test_observe_groups_by_template(self):
+        cat = TemplateCatalog()
+        t1 = cat.observe(_query("SELECT * FROM t WHERE id = 1"))
+        t2 = cat.observe(_query("SELECT * FROM t WHERE id = 2"))
+        assert t1 == t2
+        assert len(cat) == 1
+        assert cat.total_observed == 2
+
+    def test_counts_per_template(self):
+        cat = TemplateCatalog()
+        tid = cat.observe(_query("SELECT 1"))
+        cat.observe(_query("SELECT 1"))
+        cat.observe(_query("SELECT * FROM other"))
+        assert cat.stats(tid).count == 2
+
+    def test_most_frequent_params(self):
+        cat = TemplateCatalog()
+        tid = cat.observe(_query("SELECT * FROM t WHERE id = 7"))
+        cat.observe(_query("SELECT * FROM t WHERE id = 7"))
+        cat.observe(_query("SELECT * FROM t WHERE id = 8"))
+        assert cat.stats(tid).most_frequent_params() == ("7",)
+
+    def test_top_templates_ordering(self):
+        cat = TemplateCatalog()
+        for _ in range(3):
+            cat.observe(_query("SELECT a FROM x"))
+        cat.observe(_query("SELECT b FROM y"))
+        top = cat.top_templates(2)
+        assert top[0].count == 3
+
+    def test_example_retained(self):
+        cat = TemplateCatalog()
+        q = _query("SELECT 1")
+        tid = cat.observe(q)
+        assert cat.stats(tid).example is q
+
+    def test_generated_families_template_cleanly(self):
+        fam = QueryFamily(
+            "f",
+            QueryType.SELECT,
+            "SELECT * FROM t WHERE a = %s AND b = %s",
+            1.0,
+            QueryFootprint(),
+            ("int", "str"),
+        )
+        rng = np.random.default_rng(0)
+        cat = TemplateCatalog()
+        ids = {cat.observe(fam.instantiate(rng)) for _ in range(10)}
+        assert len(ids) == 1
+
+
+class TestIdentifierSuffixes:
+    def test_numeric_identifier_suffixes_templated(self):
+        """Generated names (tmp_sales_482) must share one template."""
+        a = make_template("CREATE TEMP TABLE tmp_sales_482 AS SELECT 1")
+        b = make_template("CREATE TEMP TABLE tmp_sales_91 AS SELECT 1")
+        assert a == b
+        assert "tmp_sales_?" in a
