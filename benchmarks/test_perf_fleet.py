@@ -1,0 +1,73 @@
+"""Bench: macro throughput of the tuning-request hot path.
+
+Steps a seeded AutoDBaaS deployment (8 instances, mixed TDE/periodic
+policies, adulterated + plain TPC-C) through 12 five-minute windows and
+reports fleet windows per second. This is the end-to-end loop the PR's
+vectorisation work targets: workload generation, DB simulation, TDE
+inspection and OtterTune recommendations all on one clock.
+
+The pre-optimisation baseline for the full scenario on the reference dev
+machine was 23.5 s wall (4.1 windows/s); see docs/performance.md.
+
+Set ``PERF_QUICK=1`` (CI) to run a smaller scenario with the same shape.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import run_once
+
+from repro import AutoDBaaS
+from repro.cloud import Provisioner
+from repro.dbsim import postgres_catalog
+from repro.tuners import OtterTuneTuner, WorkloadRepository
+from repro.workloads import AdulteratedTPCCWorkload, TPCCWorkload
+
+QUICK = os.environ.get("PERF_QUICK") == "1"
+N_INSTANCES = 4 if QUICK else 8
+N_WINDOWS = 4 if QUICK else 12
+
+
+def _build(n_instances: int, seed: int = 0) -> AutoDBaaS:
+    repository = WorkloadRepository()
+    tuner = OtterTuneTuner(
+        postgres_catalog(), repository, memory_limit_mb=6553.6, seed=1
+    )
+    service = AutoDBaaS([tuner], repository, window_s=300.0, seed=seed)
+    provisioner = Provisioner(seed=seed + 1)
+    for i in range(n_instances):
+        deployment = provisioner.provision(plan="m4.large", data_size_gb=21.0)
+        workload = (
+            AdulteratedTPCCWorkload(0.8, seed=seed + 10 + i)
+            if i % 2 == 0
+            else TPCCWorkload(seed=seed + 10 + i)
+        )
+        service.attach(deployment, workload, policy="tde" if i % 3 else "periodic")
+    return service
+
+
+def test_perf_fleet_windows_per_second(benchmark, emit):
+    service = _build(N_INSTANCES)
+
+    def work() -> float:
+        start = time.perf_counter()
+        for _ in range(N_WINDOWS):
+            service.step()
+        return time.perf_counter() - start
+
+    elapsed = run_once(benchmark, work)
+    member_windows = N_INSTANCES * N_WINDOWS
+    emit(
+        "perf_fleet",
+        f"scenario: {N_INSTANCES} instances x {N_WINDOWS} windows of 300 s"
+        f" (quick={QUICK})\n"
+        f"wall: {elapsed:.2f} s\n"
+        f"member-windows/s: {member_windows / elapsed:.1f}",
+    )
+    assert elapsed > 0.0
+    if not QUICK:
+        # The pre-optimisation implementation took 23.5 s on the reference
+        # machine; stay comfortably below it even on slower CI hardware.
+        assert elapsed < 23.5

@@ -1,0 +1,72 @@
+"""Bench: OtterTune ``recommend()`` latency, cold and warm.
+
+Cold requests land right after a fresh repository sample (the Fig. 9
+pattern: every TDE tuning request is preceded by an upload), so the GPR
+refits and the amortised derived models may refresh. Warm requests hit an
+unchanged repository version and should be served almost entirely from
+the version-keyed caches this PR introduces.
+
+Set ``PERF_QUICK=1`` (CI) to reduce the number of timed requests.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.dbsim.knobs import postgres_catalog
+from repro.experiments.common import offline_train
+from repro.tuners.base import TrainingSample, TuningRequest
+from repro.tuners.ottertune import OtterTuneTuner
+from repro.workloads.tpcc import TPCCWorkload
+
+QUICK = os.environ.get("PERF_QUICK") == "1"
+ROUNDS = 10 if QUICK else 50
+
+
+def test_perf_recommend_latency(benchmark, emit):
+    catalog = postgres_catalog()
+    repository = offline_train(
+        catalog,
+        [TPCCWorkload(rps=500.0, data_size_gb=12.0, seed=21)],
+        n_configs=40,
+        seed=22,
+    )
+    tuner = OtterTuneTuner(
+        catalog, repository, memory_limit_mb=6553.6, seed=23
+    )
+    workload_id = repository.workload_ids()[0]
+    sample = repository.samples(workload_id)[0]
+    request = TuningRequest(
+        "db0", workload_id, sample.config, sample.metrics, timestamp_s=0.0
+    )
+
+    def work() -> tuple[float, float]:
+        cold = 0.0
+        for i in range(ROUNDS):
+            repository.add(
+                TrainingSample(workload_id, sample.config, sample.metrics, float(i))
+            )
+            start = time.perf_counter()
+            tuner.recommend(request)
+            cold += time.perf_counter() - start
+        warm = 0.0
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            tuner.recommend(request)
+            warm += time.perf_counter() - start
+        return cold / ROUNDS, warm / ROUNDS
+
+    cold_s, warm_s = run_once(benchmark, work)
+    emit(
+        "perf_recommend",
+        f"rounds: {ROUNDS} (quick={QUICK})\n"
+        f"cold recommend (new sample first): {cold_s * 1000.0:.2f} ms\n"
+        f"warm recommend (unchanged repository): {warm_s * 1000.0:.2f} ms",
+    )
+    # Warm requests reuse the version-keyed GPR fit and Lasso ranking;
+    # they must not be slower than requests that pay the refit.
+    assert warm_s <= cold_s
+    assert cold_s < 1.0

@@ -270,9 +270,20 @@ def _dispatch(argv: Sequence[str] | None) -> int:
             return 2
         return 0
     if args.command == "demo":
-        import importlib
+        # The examples only exist in a source checkout and are not an
+        # installed package, so load the script by path next to this
+        # package rather than importing ``examples.<name>``.
+        import importlib.util
+        from pathlib import Path
 
-        module = importlib.import_module(f"examples.{args.name}")
+        path = Path(__file__).resolve().parents[2] / "examples" / f"{args.name}.py"
+        if not path.exists():
+            print(f"error: {path} not found (demos need a source checkout)",
+                  file=sys.stderr)
+            return 2
+        spec = importlib.util.spec_from_file_location(f"demo_{args.name}", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
         module.main()
         return 0
     return 2  # unreachable with required=True; defensive

@@ -59,6 +59,13 @@ class LiveFleet:
         production tenants differ in size.
     seed:
         Master seed; members derive their own streams.
+    sample_size:
+        Per-window query-log sample size of every member's workload (the
+        number of concrete queries materialised for the TDE to read).
+    monitoring_retention_s:
+        Retention window of every member's monitoring agent (see
+        :class:`~repro.cloud.monitoring.MonitoringAgent`); ``None``
+        retains everything.
     """
 
     def __init__(
@@ -67,6 +74,8 @@ class LiveFleet:
         flavor: str = "postgres",
         mean_rps_range: tuple[float, float] = (80.0, 600.0),
         seed: int | np.random.Generator | None = 0,
+        sample_size: int = 200,
+        monitoring_retention_s: float | None = None,
     ) -> None:
         if size <= 0:
             raise ValueError("size must be positive")
@@ -86,12 +95,16 @@ class LiveFleet:
                 mean_rps=float(self._rng.uniform(*mean_rps_range)),
                 data_size_gb=deployment.service.master.data_size_gb,
                 seed=derive_rng(self._rng, f"wl-{i}"),
+                sample_size=sample_size,
             )
             self.members.append(
                 FleetMember(
                     deployment=deployment,
                     workload=workload,
-                    monitoring=MonitoringAgent(deployment.instance_id),
+                    monitoring=MonitoringAgent(
+                        deployment.instance_id,
+                        retention_s=monitoring_retention_s,
+                    ),
                     # Tenants in nearby timezones: jitter phases by ±1 h.
                     phase_offset_s=float(self._rng.uniform(-3600.0, 3600.0)),
                 )

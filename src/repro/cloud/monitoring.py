@@ -17,10 +17,26 @@ __all__ = ["MonitoringAgent"]
 
 
 class MonitoringAgent:
-    """Accumulates per-instance disk telemetry across execution windows."""
+    """Accumulates per-instance disk telemetry across execution windows.
 
-    def __init__(self, instance_id: str = "db0") -> None:
+    Parameters
+    ----------
+    instance_id:
+        Database instance the telemetry belongs to.
+    retention_s:
+        If set, per-second disk series older than this (relative to the
+        newest ingested window) are dropped — what a real monitoring
+        backend's retention policy does. Detector queries only ever look
+        a few windows back; a day-long fleet simulation would otherwise
+        hold tens of millions of unread samples. ``None`` retains
+        everything.
+    """
+
+    def __init__(
+        self, instance_id: str = "db0", retention_s: float | None = None
+    ) -> None:
         self.instance_id = instance_id
+        self.retention_s = retention_s
         self.write_latency = TimeSeries("data.write_latency_ms", "ms")
         self.read_latency = TimeSeries("data.read_latency_ms", "ms")
         self.iops = TimeSeries("data.iops", "ops/s")
@@ -28,10 +44,15 @@ class MonitoringAgent:
 
     def ingest(self, result: ExecutionResult) -> None:
         """Record the telemetry of one executed window."""
-        self.write_latency.extend(iter(result.data_disk.write_latency))
-        self.read_latency.extend(iter(result.data_disk.read_latency))
-        self.iops.extend(iter(result.data_disk.iops))
+        self.write_latency.extend_series(result.data_disk.write_latency)
+        self.read_latency.extend_series(result.data_disk.read_latency)
+        self.iops.extend_series(result.data_disk.iops)
         self.throughput.append(result.start_time_s, result.throughput)
+        if self.retention_s is not None:
+            horizon = result.start_time_s + result.duration_s - self.retention_s
+            self.write_latency.drop_before(horizon)
+            self.read_latency.drop_before(horizon)
+            self.iops.drop_before(horizon)
 
     def write_latency_between(self, start_s: float, end_s: float) -> TimeSeries:
         """Write-latency readings in ``[start_s, end_s)``."""

@@ -8,6 +8,7 @@ simulated seconds, not wall clock.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections.abc import Iterable, Iterator
 
 import numpy as np
@@ -45,6 +46,59 @@ class TimeSeries:
         """Append many ``(time, value)`` samples in order."""
         for time, value in samples:
             self.append(time, value)
+
+    def extend_arrays(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Bulk-append aligned *times*/*values* arrays.
+
+        Equivalent to appending element by element, with the monotonicity
+        check done once over the whole block — the per-second simulator
+        loops emit hundreds of samples per window, and per-call overhead
+        dominates ``append`` at fleet scale.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.size == 0:
+            return
+        if len(times) != len(values):
+            raise ValueError("times and values must have the same length")
+        if self._times and times[0] < self._times[-1]:
+            raise ValueError(
+                f"non-monotonic timestamp {times[0]} < {self._times[-1]} in {self.name}"
+            )
+        if times.size > 1 and np.any(np.diff(times) < 0):
+            raise ValueError(f"non-monotonic timestamps in {self.name}")
+        self._times.extend(times.tolist())
+        self._values.extend(np.asarray(values, dtype=float).tolist())
+
+    def extend_series(self, other: "TimeSeries") -> None:
+        """Bulk-append every sample of *other*.
+
+        Equivalent to ``extend(iter(other))``; *other*'s samples are
+        already monotone (an append-time invariant), so only the boundary
+        needs checking and the copies are two C-level list extends. The
+        monitoring agents copy whole per-second series every window, which
+        made sample-by-sample appends a fleet-scale hotspot.
+        """
+        times = other._times
+        if not times:
+            return
+        if self._times and times[0] < self._times[-1]:
+            raise ValueError(
+                f"non-monotonic timestamp {times[0]} < {self._times[-1]}"
+                f" in {self.name}"
+            )
+        self._times.extend(times)
+        self._values.extend(other._values)
+
+    def drop_before(self, time: float) -> None:
+        """Discard all samples with timestamp strictly below *time*.
+
+        Retention trimming for consumers that only read recent history;
+        the samples are sorted, so this is one bisect plus a prefix del.
+        """
+        k = bisect_left(self._times, time)
+        if k:
+            del self._times[:k]
+            del self._values[:k]
 
     def __len__(self) -> int:
         return len(self._times)

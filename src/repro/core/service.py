@@ -62,7 +62,7 @@ class ManagedInstance:
         return self.deployment.instance_id
 
 
-@dataclass
+@dataclass(slots=True)
 class StepOutcome:
     """What happened to one instance during one window."""
 

@@ -119,10 +119,9 @@ class BgwriterThrottleDetector:
         source_id = mapping.best_workload_id
         if source_id is None:
             source_id = workload_id
-        samples = self.repository.samples(source_id)
-        if not samples:
+        top = self.repository.top_samples(source_id, 3)
+        if not top:
             return None
-        top = sorted(samples, key=lambda s: -s.objective)[:3]
         pressures = []
         for sample in top:
             latency = sample.metrics["disk_write_latency_ms"]

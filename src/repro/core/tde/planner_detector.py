@@ -155,7 +155,8 @@ class PlannerThrottleDetector:
         from repro.workloads.templating import make_template
 
         for query in queries:
-            template = make_template(query.text)
+            # Generator-instantiated queries carry their template.
+            template = query.template or make_template(query.text)
             if template not in self._seen_templates:
                 self._seen_templates.add(template)
                 self.reservoir.observe(query)

@@ -65,7 +65,9 @@ class WorkloadChangeDetector:
 
     @staticmethod
     def _distribution(queries: list[Query]) -> dict[str, float]:
-        counts: Counter[str] = Counter(make_template(q.text) for q in queries)
+        counts: Counter[str] = Counter(
+            q.template or make_template(q.text) for q in queries
+        )
         total = sum(counts.values())
         if total == 0:
             return {}

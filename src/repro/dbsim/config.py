@@ -10,9 +10,16 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
+import numpy as np
+
 from repro.dbsim.knobs import KnobCatalog, KnobClass
 
-__all__ = ["KnobConfiguration", "MemoryBudgetError", "effective_sessions"]
+__all__ = [
+    "KnobConfiguration",
+    "MemoryBudgetError",
+    "effective_sessions",
+    "fit_values_to_budget",
+]
 
 #: Fraction of active connections assumed to run memory-hungry operations
 #: (sorts, index builds) simultaneously. Charging every connection its full
@@ -44,6 +51,7 @@ class KnobConfiguration:
     ) -> None:
         self.catalog = catalog
         self._values = catalog.defaults()
+        self._hash: int | None = None
         if values:
             for name, value in values.items():
                 knob = catalog.get(name)
@@ -69,7 +77,13 @@ class KnobConfiguration:
         )
 
     def __hash__(self) -> int:
-        return hash((self.catalog.flavor, tuple(sorted(self._values.items()))))
+        # Configurations are immutable by convention and hashed hot (they
+        # key the planner's per-config caches), so compute once.
+        if self._hash is None:
+            self._hash = hash(
+                (self.catalog.flavor, tuple(sorted(self._values.items())))
+            )
+        return self._hash
 
     def as_dict(self) -> dict[str, float]:
         """Copy of all knob values."""
@@ -233,3 +247,103 @@ class KnobConfiguration:
             if v != self.catalog.get(n).default
         }
         return f"KnobConfiguration({self.catalog.flavor}, changed={changed})"
+
+
+def _budget_fit_arrays(
+    catalog: KnobCatalog,
+) -> tuple[int, float, float, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Catalog indices/bounds used by :func:`fit_values_to_budget`.
+
+    Returns ``(buffer_idx, buffer_min, buffer_max, shrink_idx, shrink_min,
+    shrink_max, restart_mask)`` where the shrink arrays cover the
+    memory-budget knobs except the buffer pool, in catalog order (the
+    order the scalar repair iterates them in). Cached on the catalog.
+    """
+    arrays = getattr(catalog, "_budget_fit_cache", None)
+    if arrays is None:
+        names = catalog.names()
+        buffer_name = (
+            "shared_buffers"
+            if catalog.flavor == "postgres"
+            else "innodb_buffer_pool_size"
+        )
+        buffer_knob = catalog.get(buffer_name)
+        shrinkable = [
+            k for k in catalog.memory_budget_knobs() if k.name != buffer_name
+        ]
+        arrays = (
+            names.index(buffer_name),
+            buffer_knob.min_value,
+            buffer_knob.max_value,
+            np.array([names.index(k.name) for k in shrinkable], dtype=int),
+            np.array([k.min_value for k in shrinkable], dtype=float),
+            np.array([k.max_value for k in shrinkable], dtype=float),
+            np.array([k.restart_required for k in shrinkable], dtype=bool),
+        )
+        catalog._budget_fit_cache = arrays
+    return arrays
+
+
+def fit_values_to_budget(
+    values: np.ndarray,
+    catalog: KnobCatalog,
+    memory_limit_mb: float,
+    active_connections: int = 1,
+    headroom: float = 0.95,
+    buffer_share: float = 0.7,
+) -> np.ndarray:
+    """Batched :meth:`KnobConfiguration.fitted_to_budget` over value rows.
+
+    *values* is an (n, d) matrix of knob values in catalog order; the
+    result applies the exact same repair policy row by row — buffer pool
+    capped at ``buffer_share`` of the budget, then the working-area knobs
+    scaled down iteratively (respecting their floors) until the
+    per-session charge fits — without materialising a single
+    :class:`KnobConfiguration`. The per-row arithmetic mirrors the scalar
+    method operation for operation, including the knob iteration order of
+    the charge sums, so a repaired row matches the scalar repair bitwise.
+    """
+    (
+        buffer_idx,
+        buffer_min,
+        buffer_max,
+        shrink_idx,
+        shrink_min,
+        shrink_max,
+        restart_mask,
+    ) = _budget_fit_arrays(catalog)
+    out = np.array(values, dtype=float, copy=True)
+    if out.ndim != 2 or out.shape[1] != len(catalog):
+        raise ValueError("values must be (n, d) in catalog order")
+    budget = memory_limit_mb * headroom
+    sessions = effective_sessions(active_connections)
+    weights = np.where(restart_mask, 1.0, sessions)
+
+    buffer_mb = np.minimum(out[:, buffer_idx], buffer_share * budget)
+    buffer_mb = np.clip(buffer_mb, buffer_min, buffer_max)
+    out[:, buffer_idx] = buffer_mb
+    allowed = np.maximum(0.0, budget - buffer_mb)
+
+    work = out[:, shrink_idx]  # (n, k) copy via fancy indexing
+    active = np.ones(len(out), dtype=bool)
+    for _ in range(6):
+        # Accumulate in knob order so the float sums match the scalar
+        # method's sequential sums exactly.
+        charge = np.zeros(len(out))
+        reducible = np.zeros(len(out))
+        for k in range(work.shape[1]):
+            charge += work[:, k] * weights[k]
+            reducible += (work[:, k] - shrink_min[k]) * weights[k]
+        active &= charge > allowed
+        active &= reducible > 1e-12
+        if not active.any():
+            break
+        with np.errstate(divide="ignore", invalid="ignore"):
+            shrink = np.minimum(1.0, (charge - allowed) / reducible)
+        rows = np.where(active)[0]
+        excess = work[rows] - shrink_min
+        work[rows] = np.clip(
+            work[rows] - excess * shrink[rows, None], shrink_min, shrink_max
+        )
+    out[:, shrink_idx] = work
+    return out

@@ -19,7 +19,7 @@ from repro.common.hardware import VMType, vm_type
 from repro.common.rng import make_rng
 from repro.dbsim.bgwriter import WriteBackResult, WriteBackScheduler
 from repro.dbsim.config import KnobConfiguration, MemoryBudgetError
-from repro.dbsim.executor import ExecutionSummary, run_batch
+from repro.dbsim.executor import ExecutionSummary, ServiceTimeCache, run_batch
 from repro.dbsim.knobs import catalog_for
 from repro.dbsim.memory import SpillReport, buffer_hit_ratio, compute_spills, swap_factor
 from repro.dbsim.metrics import MetricsDelta
@@ -116,12 +116,21 @@ class SimulatedDatabase:
         self.active_connections = active_connections
         self._rng = make_rng(seed)
         self.config = KnobConfiguration(self.catalog)
+        #: Bumped on every config apply (reload/restart/socket) and heal;
+        #: derived per-config state (the executor's service-time memo) is
+        #: keyed on it and recomputes only when it moves.
+        self.config_epoch = 0
+        self._service_cache = ServiceTimeCache()
         self.clock_s = 0.0
         self.crashed = False
         self._scheduler = WriteBackScheduler()
         self._data_disk = DiskSimulator(self.vm.disk, "data")
         self._wal_disk = DiskSimulator(self.vm.disk, "wal")
         self._planner = PlannerModel(flavor, "generic", self.vm)
+        # Planner models are pure functions of (flavor, workload, vm);
+        # reuse one per workload so their per-config memos survive
+        # across windows instead of dying with a fresh model every run.
+        self._planners: dict[str, PlannerModel] = {"generic": self._planner}
         self._pending_stall_s = 0.0
         self._reloads_this_window = 0
         self._cold_windows = 0
@@ -159,6 +168,7 @@ class SimulatedDatabase:
             for name in skipped:
                 merged[name] = self.config[name]
             self.config = KnobConfiguration(self.catalog, merged)
+            self.config_epoch += 1
             self._reloads_this_window += 1
             return ApplyOutcome(
                 applied={
@@ -176,6 +186,7 @@ class SimulatedDatabase:
                 self.crashed = True
                 raise DatabaseCrashed(str(exc)) from exc
             self.config = new_config
+            self.config_epoch += 1
             # The shutdown checkpoint writes the dirty backlog out before
             # the process exits — a dirty database takes longer to stop.
             shutdown_s = self._scheduler.dirty_backlog_mb / (
@@ -198,6 +209,7 @@ class SimulatedDatabase:
     def heal(self) -> None:
         """Bring a crashed instance back up (operator intervention)."""
         self.crashed = False
+        self.config_epoch += 1
         self._scheduler.reset()
         self._pending_stall_s += RESTART_DOWNTIME_S
         self._cold_windows = len(_COLD_CACHE_FACTORS)
@@ -237,7 +249,11 @@ class SimulatedDatabase:
         if self.crashed:
             raise DatabaseCrashed("instance is down")
         duration = max(1, int(round(batch.duration_s)))
-        self._planner = PlannerModel(self.flavor, batch.workload_name, self.vm)
+        planner = self._planners.get(batch.workload_name)
+        if planner is None:
+            planner = PlannerModel(self.flavor, batch.workload_name, self.vm)
+            self._planners[batch.workload_name] = planner
+        self._planner = planner
 
         spill = compute_spills(batch, self.config)
         swap = swap_factor(self.config, self.vm, self.active_connections)
@@ -289,6 +305,8 @@ class SimulatedDatabase:
             commit_latency,
             data_latency_factor,
             swap,
+            cache=self._service_cache,
+            config_epoch=self.config_epoch,
         )
         summary = self._charge_disruption(summary, stall, duration)
 

@@ -23,7 +23,12 @@ from repro.dbsim.planner import PlannerModel
 from repro.workloads.generator import WorkloadBatch
 from repro.workloads.query import QueryFootprint
 
-__all__ = ["ExecutionSummary", "family_service_time_ms", "run_batch"]
+__all__ = [
+    "ExecutionSummary",
+    "ServiceTimeCache",
+    "family_service_time_ms",
+    "run_batch",
+]
 
 _CPU_MS_PER_ROW = 0.0004
 _CPU_MS_BASE = 0.03
@@ -32,7 +37,7 @@ _COMMIT_WAIT_FACTOR = 0.35
 _SCHEDULER_EFFICIENCY = 0.9
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionSummary:
     """Throughput/latency outcome of one batch."""
 
@@ -100,6 +105,75 @@ def family_service_time_ms(
     return ((cpu_ms + read_ms + spill_ms) * multiplier + commit_ms) * swap
 
 
+class ServiceTimeCache:
+    """Cross-window memo for the static parts of a family's service time.
+
+    A family's service time splits into *static* terms — CPU cost, the
+    page-miss volume per unit of miss ratio, the spill volume (a walk over
+    the working-area knobs) and the planner distance multiplier — which
+    depend only on the footprint and the live configuration, and *dynamic*
+    terms (buffer hit ratio, commit latency, data-disk latency inflation,
+    swap factor) that move every window. The memo stores the static terms
+    per ``(workload, family)`` and replays the dynamic arithmetic on every
+    call with the exact expressions of :func:`family_service_time_ms`, so
+    a hit is bit-identical to the uncached computation.
+
+    The key assumes what :func:`run_batch` guarantees: within one config
+    epoch a family's footprint, configuration, VM and planner are fixed.
+    The owning database bumps ``config_epoch`` on every apply/restart/
+    heal, which flushes the memo.
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._epoch: int | None = None
+        self._store: dict[tuple[str, str], tuple[float, float, float, bool, float]] = {}
+
+    def service_time_ms(
+        self,
+        epoch: int,
+        workload_name: str,
+        family_name: str,
+        footprint: QueryFootprint,
+        config: KnobConfiguration,
+        vm: VMType,
+        hit_ratio: float,
+        planner: PlannerModel,
+        commit_latency_ms: float,
+        data_latency_factor: float,
+        swap: float,
+    ) -> float:
+        """Memoised :func:`family_service_time_ms` (see class docstring)."""
+        if epoch != self._epoch:
+            self._store.clear()
+            self._epoch = epoch
+        key = (workload_name, family_name)
+        parts = self._store.get(key)
+        if parts is None:
+            self.misses += 1
+            parts = (
+                _CPU_MS_BASE
+                + footprint.rows_examined * _CPU_MS_PER_ROW
+                + footprint.sort_mb * _CPU_MS_PER_SORT_MB,
+                footprint.read_kb / 1024.0,
+                _spill_mb_per_exec(footprint, config),
+                footprint.write_kb > 0.0,
+                planner.time_multiplier(config, footprint),
+            )
+            self._store[key] = parts
+        else:
+            self.hits += 1
+        cpu_ms, read_mb, spill_mb, has_commit, multiplier = parts
+        miss_mb = read_mb * (1.0 - hit_ratio)
+        read_ms = miss_mb / vm.disk.throughput_mb_s * 1000.0 * data_latency_factor
+        spill_ms = spill_mb / vm.disk.throughput_mb_s * 1000.0 * data_latency_factor
+        commit_ms = 0.0
+        if has_commit:
+            commit_ms = _COMMIT_WAIT_FACTOR * commit_latency_ms
+        return ((cpu_ms + read_ms + spill_ms) * multiplier + commit_ms) * swap
+
+
 def run_batch(
     batch: WorkloadBatch,
     config: KnobConfiguration,
@@ -110,12 +184,17 @@ def run_batch(
     commit_latency_ms: float,
     data_latency_factor: float = 1.0,
     swap: float = 1.0,
+    cache: ServiceTimeCache | None = None,
+    config_epoch: int = 0,
 ) -> ExecutionSummary:
     """Throughput and mean latency of *batch* under *config*.
 
     Demand is summed per family; achieved throughput is capped by the
     VM's CPU-seconds. Latency inflates as utilisation approaches 1
-    (queueing) — mild below 70% utilisation, steep beyond.
+    (queueing) — mild below 70% utilisation, steep beyond. Passing a
+    :class:`ServiceTimeCache` (with the owning database's
+    ``config_epoch``) memoises the per-family service times across
+    windows.
     """
     del spill  # spill effects enter via family service times
     total_queries = batch.total_queries
@@ -123,28 +202,41 @@ def run_batch(
         return ExecutionSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
 
     demand_ms = 0.0
-    weighted_latency = 0.0
     for name, count in batch.counts.items():
         if count == 0:
             continue
-        service = family_service_time_ms(
-            batch.families[name].footprint,
-            config,
-            vm,
-            hit_ratio,
-            planner,
-            commit_latency_ms,
-            data_latency_factor,
-            swap,
-        )
+        if cache is not None:
+            service = cache.service_time_ms(
+                config_epoch,
+                batch.workload_name,
+                name,
+                batch.families[name].footprint,
+                config,
+                vm,
+                hit_ratio,
+                planner,
+                commit_latency_ms,
+                data_latency_factor,
+                swap,
+            )
+        else:
+            service = family_service_time_ms(
+                batch.families[name].footprint,
+                config,
+                vm,
+                hit_ratio,
+                planner,
+                commit_latency_ms,
+                data_latency_factor,
+                swap,
+            )
         demand_ms += service * count
-        weighted_latency += service * count
 
     capacity_ms = vm.vcpus * batch.duration_s * 1000.0 * _SCHEDULER_EFFICIENCY
     utilisation = min(1.0, demand_ms / capacity_ms) if capacity_ms > 0 else 1.0
     achieved_fraction = min(1.0, capacity_ms / demand_ms) if demand_ms > 0 else 1.0
     achieved_tps = total_queries * achieved_fraction / batch.duration_s
-    base_latency = weighted_latency / total_queries
+    base_latency = demand_ms / total_queries
     queueing = 1.0 + 3.0 * utilisation**4
     return ExecutionSummary(
         total_queries=total_queries,

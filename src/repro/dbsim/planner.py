@@ -76,7 +76,7 @@ def latent_optimum(
     )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PlanEstimate:
     """EXPLAIN-style output for one query under one configuration."""
 
@@ -111,6 +111,14 @@ class PlannerModel:
         self.flavor = flavor
         self.workload_name = workload_name
         self.vm = vm
+        # Per-config memos: configurations are immutable and change only
+        # on apply, while these quantities are read per query at fleet
+        # scale. Keys are the configurations themselves (cached hash).
+        self._distance_cache: dict[KnobConfiguration, float] = {}
+        self._multiplier_cache: dict[tuple, float] = {}
+        self._allowance_cache: dict[
+            KnobConfiguration, tuple[float, float, float]
+        ] = {}
 
     def cost_knobs(self, config: KnobConfiguration) -> list[KnobDef]:
         """The planner-estimate knobs (excluding worker-count knobs)."""
@@ -122,6 +130,9 @@ class PlannerModel:
 
     def distance(self, config: KnobConfiguration) -> float:
         """Mean normalised distance of the planner knobs from the optimum."""
+        cached = self._distance_cache.get(config)
+        if cached is not None:
+            return cached
         knobs = self.cost_knobs(config)
         if not knobs:
             return 0.0
@@ -130,7 +141,9 @@ class PlannerModel:
             optimum = latent_optimum(self.flavor, self.workload_name, knob)
             span = knob.max_value - knob.min_value
             total += abs(config[knob.name] - optimum) / span
-        return total / len(knobs)
+        result = total / len(knobs)
+        self._distance_cache[config] = result
+        return result
 
     def penalty(self, config: KnobConfiguration, sensitivity: float) -> float:
         """Execution-time multiplier (≥ 1) from planner misestimates.
@@ -172,9 +185,17 @@ class PlannerModel:
         self, config: KnobConfiguration, footprint: QueryFootprint
     ) -> float:
         """Combined planner-penalty / parallel-speedup execution multiplier."""
+        # sensitivity/parallel_fraction are family constants (jitter never
+        # touches them), so this key stays tiny per configuration.
+        key = (config, footprint.planner_sensitivity, footprint.parallel_fraction)
+        cached = self._multiplier_cache.get(key)
+        if cached is not None:
+            return cached
         penalty = self.penalty(config, footprint.planner_sensitivity)
         speedup = self.parallel_speedup(config, footprint.parallel_fraction)
-        return penalty / speedup
+        result = penalty / speedup
+        self._multiplier_cache[key] = result
+        return result
 
     def explain(
         self,
@@ -202,10 +223,16 @@ class PlannerModel:
         cost = (cpu_cost + io_cost) * self.time_multiplier(config, fp)
         if rng is not None and noise > 0.0:
             cost *= float(rng.lognormal(0.0, noise))
-        knobs = working_area_knobs(self.flavor)
-        sort_allowance = sum(config[n] for n in knobs.sort)
-        maint_allowance = sum(config[n] for n in knobs.maintenance)
-        temp_allowance = sum(config[n] for n in knobs.temp)
+        allowances = self._allowance_cache.get(config)
+        if allowances is None:
+            knobs = working_area_knobs(self.flavor)
+            allowances = (
+                sum(config[n] for n in knobs.sort),
+                sum(config[n] for n in knobs.maintenance),
+                sum(config[n] for n in knobs.temp),
+            )
+            self._allowance_cache[config] = allowances
+        sort_allowance, maint_allowance, temp_allowance = allowances
         return PlanEstimate(
             query_family=query.family,
             total_cost=float(cost),

@@ -122,11 +122,10 @@ class DiskSimulator:
         read_series = TimeSeries(f"{self.name}.read_latency_ms", "ms")
         write_series = TimeSeries(f"{self.name}.write_latency_ms", "ms")
         iops_series = TimeSeries(f"{self.name}.iops", "ops/s")
-        for i in range(traffic.seconds):
-            t = start_time_s + i
-            read_series.append(t, float(read_lat[i]))
-            write_series.append(t, float(write_lat[i]))
-            iops_series.append(t, float(total_iops[i]))
+        times = start_time_s + np.arange(traffic.seconds, dtype=float)
+        read_series.extend_arrays(times, read_lat)
+        write_series.extend_arrays(times, write_lat)
+        iops_series.extend_arrays(times, total_iops)
         return DiskWindowResult(
             read_latency=read_series,
             write_latency=write_series,

@@ -25,7 +25,66 @@ __all__ = [
     "Tuner",
     "config_to_vector",
     "vector_to_config",
+    "vectors_to_values",
+    "values_to_vectors",
 ]
+
+
+def _transform_arrays(
+    catalog: KnobCatalog,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-catalog (mins, maxs, log_mask, spans) arrays, built lazily once.
+
+    The batched vector<->value transforms below are called with thousands
+    of candidate rows per recommendation; rebuilding these little arrays
+    from the knob definitions every call would dominate the transform.
+    """
+    arrays = getattr(catalog, "_vector_transform_arrays", None)
+    if arrays is None:
+        knobs = list(catalog)
+        mins = np.array([k.min_value for k in knobs], dtype=float)
+        maxs = np.array([k.max_value for k in knobs], dtype=float)
+        log_mask = np.array([k.log_scale for k in knobs], dtype=bool)
+        spans = maxs - mins
+        arrays = (mins, maxs, log_mask, spans)
+        catalog._vector_transform_arrays = arrays
+    return arrays
+
+
+def vectors_to_values(vectors: np.ndarray, catalog: KnobCatalog) -> np.ndarray:
+    """Batched :func:`vector_to_config` without materialising configs.
+
+    *vectors* is (n, d) in normalised [0, 1] space; the result is (n, d)
+    clamped knob values in catalog order — exactly the values a
+    :class:`KnobConfiguration` built via :func:`vector_to_config` would
+    hold, row by row.
+    """
+    vectors = np.asarray(vectors, dtype=float)
+    if vectors.shape[-1] != len(catalog):
+        raise ValueError(
+            f"vector width {vectors.shape[-1]} != catalog size {len(catalog)}"
+        )
+    mins, maxs, log_mask, spans = _transform_arrays(catalog)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_values = mins * (maxs / np.where(mins > 0, mins, 1.0)) ** vectors
+    linear_values = mins + vectors * spans
+    values = np.where(log_mask, log_values, linear_values)
+    return np.clip(values, mins, maxs)
+
+
+def values_to_vectors(values: np.ndarray, catalog: KnobCatalog) -> np.ndarray:
+    """Batched :func:`config_to_vector` over an (n, d) knob-value matrix."""
+    values = np.asarray(values, dtype=float)
+    if values.shape[-1] != len(catalog):
+        raise ValueError(
+            f"value width {values.shape[-1]} != catalog size {len(catalog)}"
+        )
+    mins, maxs, log_mask, spans = _transform_arrays(catalog)
+    safe_mins = np.where(mins > 0, mins, 1.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_units = np.log(values / safe_mins) / np.log(maxs / safe_mins)
+        linear_units = (values - mins) / spans
+    return np.where(log_mask, log_units, linear_units)
 
 
 def config_to_vector(config: KnobConfiguration) -> np.ndarray:
@@ -68,7 +127,7 @@ def vector_to_config(
     return KnobConfiguration(catalog, values)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TrainingSample:
     """One (config, delta-metrics) observation from a workload execution.
 
@@ -90,7 +149,7 @@ class TrainingSample:
         return self.metrics.throughput
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TuningRequest:
     """A request for a new configuration recommendation.
 
@@ -135,7 +194,7 @@ def boost_throttled_knobs(
     return config.with_values(updates) if updates else config
 
 
-@dataclass
+@dataclass(slots=True)
 class Recommendation:
     """A recommended configuration for one service instance."""
 

@@ -22,7 +22,6 @@ from repro.tuners.repository import WorkloadDataset, WorkloadRepository
 
 __all__ = ["MappingResult", "WorkloadMapper"]
 
-
 @dataclass(frozen=True)
 class MappingResult:
     """Outcome of mapping a target workload onto the repository."""
@@ -44,13 +43,29 @@ class WorkloadMapper:
             raise ValueError("n_bins must be >= 2")
         self.repository = repository
         self.n_bins = n_bins
+        # Derived state keyed on the repository's version counter: decile
+        # edges and mapping results are pure functions of the repository
+        # contents, so they stay valid until the next sample lands. The
+        # cache lives *on the repository* so every mapper over the same
+        # store (each TDE owns one) shares one set of results.
+        self._cache: dict = repository.derived_cache.setdefault(
+            ("mapper", n_bins), {}
+        )
 
     def _bin_edges(self) -> np.ndarray | None:
+        cached = self._cache.get("edges")
+        if cached is not None and self.repository.fresh_enough(
+            cached[0], self.repository.total_samples()
+        ):
+            return cached[1]
         rows = self.repository.all_metric_rows()
         if len(rows) < 2:
-            return None
-        quantiles = np.linspace(0.0, 1.0, self.n_bins + 1)[1:-1]
-        return np.quantile(rows, quantiles, axis=0)  # (n_bins-1, m)
+            edges = None
+        else:
+            quantiles = np.linspace(0.0, 1.0, self.n_bins + 1)[1:-1]
+            edges = np.quantile(rows, quantiles, axis=0)  # (n_bins-1, m)
+        self._cache["edges"] = (self.repository.version, edges)
+        return edges
 
     def _binned(self, metrics: np.ndarray, edges: np.ndarray) -> np.ndarray:
         out = np.zeros_like(metrics)
@@ -70,7 +85,38 @@ class WorkloadMapper:
         without samples — or the target itself, unless
         ``exclude_target=False`` — are skipped.
         """
-        target = self.repository.dataset(target_id)
+        cache_key = ("map", target_id, exclude_target)
+        cached = self._cache.get(cache_key)
+        if cached is not None and self.repository.fresh_enough(
+            cached[0], self.repository.sample_count(target_id)
+        ):
+            return cached[1]
+        result = self._map_workload(target_id, exclude_target)
+        self._cache[cache_key] = (self.repository.version, result)
+        return result
+
+    def _capped(self, dataset: WorkloadDataset) -> WorkloadDataset:
+        """The dataset, windowed to its most recent samples at scale.
+
+        Beyond the repository's :attr:`exact_refresh_limit` the mapping
+        scores only the newest window — keeping the nearest-config
+        distance matrix bounded (it is quadratic in the sample count)
+        without touching the exact behaviour at bench scales.
+        """
+        limit = self.repository.exact_refresh_limit
+        if dataset.size <= limit:
+            return dataset
+        return WorkloadDataset(
+            dataset.workload_id,
+            dataset.configs[-limit:],
+            dataset.metrics[-limit:],
+            dataset.objective[-limit:],
+        )
+
+    def _map_workload(
+        self, target_id: str, exclude_target: bool
+    ) -> MappingResult:
+        target = self._capped(self.repository.dataset(target_id))
         if target.size == 0:
             return MappingResult(target_id, None, {})
         edges = self._bin_edges()
@@ -82,7 +128,7 @@ class WorkloadMapper:
         for wid in self.repository.workload_ids():
             if exclude_target and wid == target_id:
                 continue
-            candidate = self.repository.dataset(wid)
+            candidate = self._capped(self.repository.dataset(wid))
             if candidate.size == 0:
                 continue
             scores[wid] = self._score(

@@ -16,11 +16,17 @@ added to the adulterated TPC-C need ~350 MB).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 import numpy as np
 
 __all__ = ["QueryType", "QueryFootprint", "QueryFamily", "Query"]
+
+# The jitter band of ``QueryFootprint.jittered(relative=0.15)``, computed
+# with the same expressions so the constants are bit-identical to what the
+# method derives; ``QueryFamily.instantiate`` inlines the jitter.
+_JITTER_LO = 1.0 - 0.15
+_JITTER_SPAN = (1.0 + 0.15) - _JITTER_LO
 
 
 class QueryType(enum.Enum):
@@ -71,7 +77,7 @@ _MAINTENANCE_TYPES = frozenset(
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueryFootprint:
     """Resource demand of one execution of a query.
 
@@ -126,24 +132,49 @@ class QueryFootprint:
             raise ValueError("planner_sensitivity must be in [0, 1]")
 
     def jittered(self, rng: np.random.Generator, relative: float = 0.15) -> "QueryFootprint":
-        """A copy with each positive resource scaled by ``1 ± relative``."""
+        """A copy with each positive resource scaled by ``1 ± relative``.
 
-        def scale(value: float) -> float:
-            if value <= 0.0:
-                return value
-            return float(value * rng.uniform(1.0 - relative, 1.0 + relative))
-
-        return replace(
-            self,
-            sort_mb=scale(self.sort_mb),
-            maintenance_mb=scale(self.maintenance_mb),
-            temp_mb=scale(self.temp_mb),
-            read_kb=scale(self.read_kb),
-            write_kb=scale(self.write_kb),
+        Built without ``dataclasses.replace`` (which re-runs
+        ``__post_init__``): this sits in the per-query generation hot
+        path, and jittering already-validated non-negative values by a
+        positive factor cannot violate the invariants. Uniform draws are
+        made only for strictly positive fields, in declaration order, as
+        one batched ``rng.random(size=k)`` — the Generator fills a batch
+        from the same stream doubles repeated scalar calls would consume,
+        and ``lo + span * u`` transforms each exactly like
+        ``rng.uniform(lo, hi)``, so the values match the validating
+        scalar-draw construction bit-for-bit.
+        """
+        lo = 1.0 - relative
+        span = (1.0 + relative) - lo
+        fields = (
+            self.sort_mb,
+            self.maintenance_mb,
+            self.temp_mb,
+            self.read_kb,
+            self.write_kb,
         )
+        k = sum(1 for v in fields if v > 0.0)
+        if k:
+            draws = iter(rng.random(size=k).tolist())
+            fields = tuple(
+                v * (lo + span * next(draws)) if v > 0.0 else v for v in fields
+            )
+        clone = object.__new__(QueryFootprint)
+        set_ = object.__setattr__
+        set_(clone, "rows_examined", self.rows_examined)
+        set_(clone, "rows_returned", self.rows_returned)
+        set_(clone, "sort_mb", fields[0])
+        set_(clone, "maintenance_mb", fields[1])
+        set_(clone, "temp_mb", fields[2])
+        set_(clone, "read_kb", fields[3])
+        set_(clone, "write_kb", fields[4])
+        set_(clone, "parallel_fraction", self.parallel_fraction)
+        set_(clone, "planner_sensitivity", self.planner_sensitivity)
+        return clone
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueryFamily:
     """A parameterised query template with a fixed resource profile.
 
@@ -158,25 +189,118 @@ class QueryFamily:
     weight: float
     footprint: QueryFootprint
     param_spec: tuple[str, ...] = field(default_factory=tuple)
+    #: Precomputed templating result (or None when the family's text does
+    #: not canonicalise — see ``family_template_info``). Excluded from
+    #: equality/repr; derived from ``template``/``param_spec``.
+    _template_info: object = field(default=None, compare=False, repr=False)
+    #: ``template.split("%s")`` when the placeholder count matches
+    #: ``param_spec`` (None otherwise): instantiation then builds the text
+    #: with one join instead of repeated ``str.replace`` scans.
+    _parts: object = field(default=None, compare=False, repr=False)
+    #: ``(positive_field_indices, base_values)`` over the footprint's five
+    #: jitterable fields, so per-query jitter skips rediscovering which
+    #: fields draw.
+    _jitter: object = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.weight < 0:
             raise ValueError("weight must be >= 0")
         if not self.name:
             raise ValueError("family name must be non-empty")
+        # Late import: templating imports Query from this module.
+        from repro.workloads.templating import family_template_info
+
+        set_ = object.__setattr__
+        set_(
+            self,
+            "_template_info",
+            family_template_info(self.template, tuple(self.param_spec)),
+        )
+        parts = tuple(self.template.split("%s"))
+        set_(self, "_parts", parts if len(parts) == len(self.param_spec) + 1 else None)
+        fp = self.footprint
+        base = (fp.sort_mb, fp.maintenance_mb, fp.temp_mb, fp.read_kb, fp.write_kb)
+        positives = tuple(i for i, v in enumerate(base) if v > 0.0)
+        set_(self, "_jitter", (positives, base))
 
     def instantiate(self, rng: np.random.Generator) -> "Query":
-        """Materialise one query with concrete parameters and jitter."""
-        params = tuple(self._draw_param(kind, rng) for kind in self.param_spec)
-        text = self.template
-        for value in params:
-            text = text.replace("%s", str(value), 1)
-        return Query(
-            family=self.name,
-            query_type=self.query_type,
-            text=text,
-            footprint=self.footprint.jittered(rng),
-        )
+        """Materialise one query with concrete parameters and jitter.
+
+        This is the per-query hot path: parameter dispatch is inlined
+        (matching ``_draw_param`` draw-for-draw), the text comes from one
+        join over the precomputed template segments, the footprint jitter
+        follows the plan computed at construction (bit-identical to
+        ``QueryFootprint.jittered``), and both result objects bypass the
+        dataclass constructors — the values are already validated.
+        """
+        rendered: list[str] = []
+        for kind in self.param_spec:
+            if kind == "int":
+                piece = str(int(rng.integers(1, 1_000_000)))
+            elif kind == "str":
+                piece = "'v{:06d}'".format(int(rng.integers(0, 999_999)))
+            elif kind == "float":
+                piece = str(round(10_000.0 * rng.random(), 2))
+            else:
+                piece = str(self._draw_param(kind, rng))
+            rendered.append(piece)
+        parts = self._parts
+        if parts is None:
+            text = self.template
+            for piece in rendered:
+                text = text.replace("%s", piece, 1)
+        elif rendered:
+            chunks = [parts[0]]
+            for i, piece in enumerate(rendered):
+                chunks.append(piece)
+                chunks.append(parts[i + 1])
+            text = "".join(chunks)
+        else:
+            text = self.template
+
+        positives, base = self._jitter
+        vals = list(base)
+        k = len(positives)
+        if k:
+            draws = rng.random(size=k).tolist()
+            for j in range(k):
+                i = positives[j]
+                vals[i] = vals[i] * (_JITTER_LO + _JITTER_SPAN * draws[j])
+        fp = self.footprint
+        set_ = object.__setattr__
+        clone = object.__new__(QueryFootprint)
+        set_(clone, "rows_examined", fp.rows_examined)
+        set_(clone, "rows_returned", fp.rows_returned)
+        set_(clone, "sort_mb", vals[0])
+        set_(clone, "maintenance_mb", vals[1])
+        set_(clone, "temp_mb", vals[2])
+        set_(clone, "read_kb", vals[3])
+        set_(clone, "write_kb", vals[4])
+        set_(clone, "parallel_fraction", fp.parallel_fraction)
+        set_(clone, "planner_sensitivity", fp.planner_sensitivity)
+
+        info = self._template_info
+        if info is None:
+            template = ""
+            extracted: tuple[str, ...] = ()
+        elif rendered:
+            template = info.template
+            extracted = tuple(
+                [s if type(s) is str else rendered[s] for s in info.slots]
+            )
+        else:
+            # No parameters: the extraction is the constant static slots.
+            template = info.template
+            extracted = info.slots
+
+        query = object.__new__(Query)
+        set_(query, "family", self.name)
+        set_(query, "query_type", self.query_type)
+        set_(query, "text", text)
+        set_(query, "footprint", clone)
+        set_(query, "template", template)
+        set_(query, "params", extracted)
+        return query
 
     @staticmethod
     def _draw_param(kind: str, rng: np.random.Generator) -> object:
@@ -185,18 +309,27 @@ class QueryFamily:
         if kind == "str":
             return "'v{:06d}'".format(int(rng.integers(0, 999_999)))
         if kind == "float":
-            return round(float(rng.uniform(0, 10_000)), 2)
+            # Same stream double uniform(0, 10_000) would consume.
+            return round(10_000.0 * rng.random(), 2)
         raise ValueError(f"unknown param kind {kind!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Query:
-    """One concrete query as it would appear in the streaming query log."""
+    """One concrete query as it would appear in the streaming query log.
+
+    ``template``/``params`` are the precomputed templating results for
+    generator-instantiated queries (empty template = not precomputed);
+    :class:`~repro.workloads.templating.TemplateCatalog` uses them to skip
+    re-deriving the template from the text on every observed query.
+    """
 
     family: str
     query_type: QueryType
     text: str
     footprint: QueryFootprint
+    template: str = ""
+    params: tuple[str, ...] = ()
 
     @property
     def is_write(self) -> bool:
