@@ -1,0 +1,53 @@
+"""Finding model for the ``repro lint`` static checker.
+
+A :class:`Finding` is one rule violation pinned to a file and line. The
+model is deliberately flat — reporters (text, JSON) and the CLI exit-code
+logic consume it without needing the AST context it was derived from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(enum.Enum):
+    """How seriously a finding should be taken.
+
+    ``ERROR`` findings fail the lint run; ``WARNING`` findings are printed
+    but do not affect the exit code (none of the shipped rules currently
+    emit warnings — the tier exists so a new rule can be introduced
+    observe-only before being promoted to blocking).
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at ``path:line:col``.
+
+    ``path`` is stored POSIX-style relative to the lint root so output is
+    stable across machines and usable in CI annotations.
+    """
+
+    rule: str
+    severity: Severity
+    path: PurePosixPath
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line textual form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (str(self.path), self.line, self.col, self.rule)

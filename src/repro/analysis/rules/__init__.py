@@ -1,0 +1,14 @@
+"""Builtin lint rules. Importing this package registers R001–R005."""
+
+from repro.analysis.rules.cache_version import CacheVersionBumpRule
+from repro.analysis.rules.knob_registry import KnobRegistryRule
+from repro.analysis.rules.rng import NoGlobalRngRule, RngMustThreadRule
+from repro.analysis.rules.wallclock import NoWallclockInSimRule
+
+__all__ = [
+    "CacheVersionBumpRule",
+    "KnobRegistryRule",
+    "NoGlobalRngRule",
+    "NoWallclockInSimRule",
+    "RngMustThreadRule",
+]

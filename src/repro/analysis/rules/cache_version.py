@@ -1,0 +1,184 @@
+"""R004 cache-version-bump: mutating versioned state must bump ``_version``.
+
+PR 1 introduced version-keyed caches: ``WorkloadRepository`` (and any
+future class following the pattern) exposes a monotonic ``_version``
+counter, and consumers key derived state on it. The invariant is that
+*every* public mutator of the tracked state bumps the counter — a mutator
+that forgets leaves consumers serving stale derived state forever, a bug
+no test catches until cache contents drift.
+
+The rule fires on classes that assign ``self._version`` in ``__init__``
+(or declare it at class level). Within such a class, a **public** method
+that mutates tracked state must either touch ``self._version`` itself or
+call a same-class method that does (one level of indirection, which
+covers the ``add -> _append`` helper pattern).
+
+Tracked state: underscore-prefixed attributes assigned in ``__init__``,
+excluding ``_version`` itself and anything with ``cache`` in the name —
+caches are *derived* from versioned state and are exactly what must not
+force a bump when refreshed. Private methods (leading underscore) are
+exempt: they are implementation details whose public callers carry the
+bump obligation.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import ParsedModule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["CacheVersionBumpRule"]
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = {
+    "append", "appendleft", "insert", "extend", "add", "update", "pop",
+    "popitem", "popleft", "remove", "discard", "clear", "setdefault",
+    "sort", "reverse",
+}
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``X`` when *node* is ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _assigned_attrs(target: ast.expr) -> Iterator[str]:
+    """Attribute names a (possibly nested) assignment target touches.
+
+    Covers ``self.X = ...``, ``self.X[k] = ...`` and tuple unpacking;
+    anything deeper resolves through :func:`_self_attr` on the base.
+    """
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _assigned_attrs(element)
+        return
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    attr = _self_attr(target)
+    if attr is not None:
+        yield attr
+
+
+def _tracked_attrs(cls: ast.ClassDef) -> set[str]:
+    """Underscore attributes set in ``__init__``, minus caches/version."""
+    tracked: set[str] = set()
+    for method in cls.body:
+        if not isinstance(method, ast.FunctionDef) or method.name != "__init__":
+            continue
+        for node in ast.walk(method):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                for attr in _assigned_attrs(target):
+                    if (
+                        attr.startswith("_")
+                        and attr != "_version"
+                        and "cache" not in attr
+                    ):
+                        tracked.add(attr)
+    return tracked
+
+
+def _has_version(cls: ast.ClassDef) -> bool:
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign):
+            if any("_version" in set(_assigned_attrs(t)) for t in node.targets):
+                return True
+        elif isinstance(node, ast.AnnAssign):
+            if "_version" in set(_assigned_attrs(node.target)):
+                return True
+    return False
+
+
+def _bumps_version(method: ast.FunctionDef) -> bool:
+    """Whether *method* assigns or augments ``self._version`` itself."""
+    for node in ast.walk(method):
+        if isinstance(node, ast.AugAssign):
+            if _self_attr(node.target) == "_version":
+                return True
+        elif isinstance(node, ast.Assign):
+            if any(_self_attr(t) == "_version" for t in node.targets):
+                return True
+    return False
+
+
+def _mutates_tracked(method: ast.FunctionDef, tracked: set[str]) -> int | None:
+    """Line of the first tracked-state mutation in *method*, else None."""
+    for node in ast.walk(method):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                for attr in _assigned_attrs(target):
+                    if attr in tracked:
+                        return node.lineno
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                base = func.value
+                if isinstance(base, ast.Subscript):  # self._x[k].append(...)
+                    base = base.value
+                if _self_attr(base) in tracked:
+                    return node.lineno
+    return None
+
+
+def _called_methods(method: ast.FunctionDef) -> set[str]:
+    """Names of same-instance methods invoked as ``self.m(...)``."""
+    called: set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call):
+            attr = _self_attr(node.func)
+            if attr is not None:
+                called.add(attr)
+    return called
+
+
+@register
+class CacheVersionBumpRule(Rule):
+    """R004: public mutators of ``_version``-tagged classes must bump it."""
+
+    id = "R004"
+    title = "tracked-state mutation without a _version bump"
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef) or not _has_version(cls):
+                continue
+            tracked = _tracked_attrs(cls)
+            if not tracked:
+                continue
+            methods = {
+                node.name: node
+                for node in cls.body
+                if isinstance(node, ast.FunctionDef)
+            }
+            bumpers = {name for name, m in methods.items() if _bumps_version(m)}
+            for name, method in methods.items():
+                if name.startswith("_"):
+                    continue  # private helpers: callers own the bump
+                mutation_line = _mutates_tracked(method, tracked)
+                if mutation_line is None:
+                    continue
+                if name in bumpers or _called_methods(method) & bumpers:
+                    continue
+                yield self.finding(
+                    module,
+                    mutation_line,
+                    method.col_offset,
+                    f"`{cls.name}.{name}` mutates tracked state "
+                    f"({', '.join(sorted(tracked))} are version-tracked) "
+                    "without bumping self._version; stale caches will be "
+                    "served forever",
+                )

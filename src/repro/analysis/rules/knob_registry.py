@@ -1,0 +1,200 @@
+"""R005 knob-registry-consistency: literals must agree with ``dbsim/knobs.py``.
+
+DOT-style tuners degrade silently when knob metadata drifts: a typo'd
+knob name keys a dict nobody reads, a hard-coded bound disagrees with the
+registry and the tuner explores a region the database rejects. This rule
+loads the live knob registry (both catalogs) and cross-checks every
+module against it:
+
+* **near-miss names** — a string used where knob names live (a subscript
+  key, or a key in a dict that also contains real knob names) that is not
+  a registered knob but is within edit distance of one;
+* **out-of-range values** — a numeric literal assigned to a registered
+  knob name in a dict literal that falls outside the union of the
+  catalogs' ``[min_value, max_value]`` ranges;
+* **shadow definitions** — a ``KnobDef(...)`` constructed outside
+  ``dbsim/knobs.py`` whose default/min/max disagree with the registry
+  entry of the same name.
+
+Only library code is checked: tests legitimately exercise out-of-range
+values (clamping, validation) and benchmarks fabricate knob-like keys.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from collections.abc import Iterator
+
+from repro.analysis.engine import ParsedModule, is_library_module
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["KnobRegistryRule"]
+
+
+def _load_registry() -> dict[str, tuple[float, float, str]]:
+    """name -> (min, max, unit) across both catalogs (widest bounds win)."""
+    from repro.dbsim.knobs import catalog_for
+
+    registry: dict[str, tuple[float, float, str]] = {}
+    for flavor in ("postgres", "mysql"):
+        for knob in catalog_for(flavor):
+            if knob.name in registry:
+                low, high, unit = registry[knob.name]
+                registry[knob.name] = (
+                    min(low, knob.min_value),
+                    max(high, knob.max_value),
+                    unit,
+                )
+            else:
+                registry[knob.name] = (
+                    knob.min_value,
+                    knob.max_value,
+                    knob.unit.value,
+                )
+    return registry
+
+
+def _literal_number(node: ast.expr) -> float | None:
+    """The numeric value of a constant (or unary-minus constant), else None."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_number(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    return None
+
+
+@register
+class KnobRegistryRule(Rule):
+    """R005: hard-coded knob names/bounds must match the registry."""
+
+    id = "R005"
+    title = "hard-coded knob metadata disagrees with dbsim/knobs.py"
+
+    def __init__(self) -> None:
+        self._registry: dict[str, tuple[float, float, str]] | None = None
+
+    @property
+    def registry(self) -> dict[str, tuple[float, float, str]]:
+        if self._registry is None:
+            self._registry = _load_registry()
+        return self._registry
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        if not is_library_module(module.relpath):
+            return
+        if module.relpath.parts[-2:] == ("dbsim", "knobs.py"):
+            return  # the registry itself
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Dict):
+                yield from self._check_dict(module, node)
+            elif isinstance(node, ast.Subscript):
+                yield from self._check_subscript(module, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_knobdef(module, node)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _near_miss(self, name: str) -> str | None:
+        """A registered knob *name* is confusable with, if any."""
+        matches = difflib.get_close_matches(
+            name, self.registry.keys(), n=1, cutoff=0.85
+        )
+        return matches[0] if matches else None
+
+    def _check_dict(
+        self, module: ParsedModule, node: ast.Dict
+    ) -> Iterator[Finding]:
+        keys = [
+            (key, key.value)
+            for key in node.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        ]
+        if not any(name in self.registry for _, name in keys):
+            return  # not a knob-valued dict
+        for key, value in zip(node.keys, node.values):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                continue
+            name = key.value
+            if name not in self.registry:
+                hit = self._near_miss(name)
+                if hit is not None:
+                    yield self.finding(
+                        module, key.lineno, key.col_offset,
+                        f"unknown knob {name!r} in a knob-valued dict; "
+                        f"did you mean {hit!r}?",
+                    )
+                continue
+            number = _literal_number(value)
+            if number is None:
+                continue
+            low, high, unit = self.registry[name]
+            if not low <= number <= high:
+                yield self.finding(
+                    module, value.lineno, value.col_offset,
+                    f"value {number:g} for knob {name!r} is outside the "
+                    f"registry range [{low:g}, {high:g}] {unit}",
+                )
+
+    def _check_subscript(
+        self, module: ParsedModule, node: ast.Subscript
+    ) -> Iterator[Finding]:
+        key = node.slice
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return
+        name = key.value
+        if name in self.registry:
+            return
+        hit = self._near_miss(name)
+        if hit is not None:
+            yield self.finding(
+                module, key.lineno, key.col_offset,
+                f"subscript key {name!r} is not a registered knob; "
+                f"did you mean {hit!r}?",
+            )
+
+    def _check_knobdef(
+        self, module: ParsedModule, node: ast.Call
+    ) -> Iterator[Finding]:
+        func = node.func
+        func_name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if func_name != "KnobDef" or not node.args:
+            return
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            return
+        name = first.value
+        if name not in self.registry:
+            return
+        low, high, _unit = self.registry[name]
+        # Positional layout: name, knob_class, unit, default, min, max.
+        labelled = dict(zip(("default", "min_value", "max_value"), node.args[3:6]))
+        for kw in node.keywords:
+            if kw.arg in ("default", "min_value", "max_value"):
+                labelled[kw.arg] = kw.value
+        expected = {"min_value": low, "max_value": high}
+        for label, arg in labelled.items():
+            number = _literal_number(arg)
+            if number is None:
+                continue
+            if label == "default":
+                if not low <= number <= high:
+                    yield self.finding(
+                        module, arg.lineno, arg.col_offset,
+                        f"shadow KnobDef for {name!r} sets default "
+                        f"{number:g} outside the registry range "
+                        f"[{low:g}, {high:g}]",
+                    )
+                continue
+            if number != expected[label]:
+                yield self.finding(
+                    module, arg.lineno, arg.col_offset,
+                    f"shadow KnobDef for {name!r} sets {label}="
+                    f"{number:g}, registry says {expected[label]:g}",
+                )

@@ -1,0 +1,141 @@
+"""RNG determinism rules: R001 no-global-rng, R003 rng-must-thread.
+
+The reproduction's seeded benches are byte-identical only because every
+random draw flows from an explicitly threaded ``numpy.random.Generator``
+(see ``repro/common/rng.py``). R001 bans the two ways code silently falls
+back to shared global state — the stdlib ``random`` module-level
+functions and ``numpy.random``'s legacy global stream — and, inside
+library code, bans constructing generators anywhere but through
+``make_rng``/``derive_rng``. R003 catches generators constructed without
+an explicit seed, which are OS-entropy-seeded and therefore
+irreproducible.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import ParsedModule, is_library_module, is_rng_module
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["NoGlobalRngRule", "RngMustThreadRule"]
+
+#: stdlib ``random`` attributes that are *not* the shared global stream.
+_STDLIB_RANDOM_OK = {"Random", "SystemRandom"}
+
+#: ``numpy.random`` functions that draw from / mutate the legacy global
+#: RandomState. Constructors and types (``default_rng``, ``Generator``,
+#: ``SeedSequence``, ``RandomState``) are deliberately absent — they are
+#: R003's concern.
+_NUMPY_GLOBAL_FNS = {
+    "seed", "get_state", "set_state",
+    "random", "random_sample", "ranf", "sample", "rand", "randn", "randint",
+    "random_integers", "bytes", "choice", "shuffle", "permutation",
+    "uniform", "normal", "standard_normal", "lognormal", "exponential",
+    "poisson", "binomial", "beta", "gamma", "triangular", "laplace",
+    "logistic", "pareto", "power", "rayleigh", "wald", "weibull", "zipf",
+    "geometric", "gumbel", "hypergeometric", "multinomial",
+    "multivariate_normal", "negative_binomial", "chisquare", "dirichlet",
+    "f", "vonmises", "standard_cauchy", "standard_exponential",
+    "standard_gamma", "standard_t",
+}
+
+#: Generator constructors R003 demands an explicit seed for. Maps the
+#: qualified callable to the human name used in messages.
+_CONSTRUCTORS = {
+    "random.Random": "random.Random",
+    "numpy.random.default_rng": "numpy.random.default_rng",
+    "numpy.random.RandomState": "numpy.random.RandomState",
+    "repro.common.rng.make_rng": "make_rng",
+    "repro.common.make_rng": "make_rng",
+}
+
+
+@register
+class NoGlobalRngRule(Rule):
+    """R001: never draw from module-level RNG state.
+
+    Flags calls to stdlib ``random.*`` functions and to ``numpy.random``'s
+    legacy global-stream functions anywhere, and — inside the ``repro``
+    package, where generator provenance must stay auditable — direct
+    ``numpy.random.default_rng`` / ``RandomState`` construction outside
+    ``common/rng.py`` (use ``make_rng``/``derive_rng`` instead).
+    """
+
+    id = "R001"
+    title = "no module-level RNG state; thread a seeded Generator"
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        if is_rng_module(module.relpath):
+            return
+        library = is_library_module(module.relpath)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = module.imports.qualify(node.func)
+            if qualified is None:
+                continue
+            message = self._violation(qualified, library)
+            if message is not None:
+                yield self.finding(
+                    module, node.lineno, node.col_offset, message
+                )
+
+    def _violation(self, qualified: str, library: bool) -> str | None:
+        if qualified.startswith("random."):
+            attr = qualified.removeprefix("random.")
+            if "." not in attr and attr not in _STDLIB_RANDOM_OK:
+                return (
+                    f"call to global-stream `random.{attr}`; draw from a "
+                    "threaded numpy Generator instead"
+                )
+        if qualified.startswith("numpy.random."):
+            attr = qualified.removeprefix("numpy.random.")
+            if attr in _NUMPY_GLOBAL_FNS:
+                return (
+                    f"call to legacy global-stream `numpy.random.{attr}`; "
+                    "draw from a threaded Generator instead"
+                )
+            if library and attr in {"default_rng", "RandomState"}:
+                return (
+                    f"library code constructs `numpy.random.{attr}` "
+                    "directly; route through repro.common.rng.make_rng / "
+                    "derive_rng so generator provenance stays auditable"
+                )
+        return None
+
+
+@register
+class RngMustThreadRule(Rule):
+    """R003: generator construction must pass an explicit seed.
+
+    ``random.Random()`` / ``numpy.random.default_rng()`` / ``make_rng()``
+    with no argument seed from OS entropy, so two runs of the same bench
+    diverge. The seed may be any expression (an int, a parent generator,
+    a derived label) — it just has to be *stated*.
+    """
+
+    id = "R003"
+    title = "RNG constructed without an explicit seed"
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = module.imports.qualify(node.func)
+            if qualified not in _CONSTRUCTORS:
+                continue
+            if node.args or any(
+                kw.arg in ("seed", "x", None) for kw in node.keywords
+            ):
+                continue
+            name = _CONSTRUCTORS[qualified]
+            yield self.finding(
+                module,
+                node.lineno,
+                node.col_offset,
+                f"`{name}()` without an explicit seed is irreproducible; "
+                "pass a seed or a parent Generator",
+            )

@@ -1,0 +1,62 @@
+"""R002 no-wallclock-in-sim: simulation code must not read real time.
+
+Everything under ``dbsim/``, ``core/``, ``tuners/`` and ``workloads/``
+advances a *simulated* clock (seconds passed around explicitly, e.g.
+``SimulatedDatabase.clock_s``). A single ``time.time()`` in one of those
+paths makes results depend on the host's wall clock and silently breaks
+byte-identical seeded reruns. Benchmark harnesses measure real elapsed
+time by design and are exempt (files with "bench" in the name, and
+everything outside the simulation paths).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import ParsedModule, in_simulation_path
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["NoWallclockInSimRule"]
+
+_WALLCLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register
+class NoWallclockInSimRule(Rule):
+    """R002: wall-clock reads are banned in simulation paths."""
+
+    id = "R002"
+    title = "wall-clock read in simulation code"
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        if not in_simulation_path(module.relpath):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = module.imports.qualify(node.func)
+            if qualified in _WALLCLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"`{qualified}()` reads the wall clock inside a "
+                    "simulation path; thread simulated seconds explicitly",
+                )

@@ -241,7 +241,61 @@ def _build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run an example scenario")
     demo.add_argument("name", choices=_DEMOS)
+
+    lint = sub.add_parser(
+        "lint", help="run the repro static invariant checker"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+        help="output format",
+    )
+    lint.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
     return parser
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: `repro run`/`repro demo` should not pay for (or
+    # depend on) the analysis package.
+    from pathlib import Path
+
+    from repro.analysis import Linter, all_rules, render
+
+    if args.list_rules:
+        for rule_cls in all_rules():
+            print(f"{rule_cls.id}  [{rule_cls.severity.value}]  {rule_cls.title}")
+        return 0
+    select = (
+        [part.strip() for part in args.select.split(",") if part.strip()]
+        if args.select
+        else None
+    )
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"error: no such path: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        linter = Linter(select=select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    findings = linter.lint_paths(paths)
+    print(render(findings, args.fmt))
+    return 1 if findings else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -269,6 +323,8 @@ def _dispatch(argv: Sequence[str] | None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         return 0
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "demo":
         # The examples only exist in a source checkout and are not an
         # installed package, so load the script by path next to this

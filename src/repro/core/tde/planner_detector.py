@@ -26,6 +26,7 @@ import numpy as np
 from repro.common.rng import derive_rng, make_rng
 from repro.core.tde.mdp import LearningAutomaton
 from repro.core.tde.throttle import Throttle
+from repro.dbsim.config import KnobConfiguration
 from repro.dbsim.engine import ExecutionResult, SimulatedDatabase
 from repro.dbsim.knobs import KnobClass
 from repro.workloads.query import Query
@@ -111,7 +112,7 @@ class PlannerThrottleDetector:
         )
 
     def _mean_cost(
-        self, db: SimulatedDatabase, queries: list[Query], config
+        self, db: SimulatedDatabase, queries: list[Query], config: KnobConfiguration
     ) -> float:
         plans = db.explain_many(queries, config)
         return float(np.mean([p.total_cost for p in plans])) if plans else 0.0

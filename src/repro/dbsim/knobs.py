@@ -15,7 +15,10 @@ Catalogs follow PostgreSQL 9.6 and MySQL 5.6 — the versions evaluated in
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterator
 from dataclasses import dataclass
+
+import numpy as np
 
 __all__ = [
     "KnobClass",
@@ -100,6 +103,9 @@ class KnobCatalog:
     def __init__(self, flavor: str, knobs: list[KnobDef]) -> None:
         self.flavor = flavor
         self._knobs: dict[str, KnobDef] = {}
+        self._transform_arrays: (
+            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None
+        ) = None
         for knob in knobs:
             if knob.name in self._knobs:
                 raise ValueError(f"duplicate knob {knob.name}")
@@ -108,7 +114,7 @@ class KnobCatalog:
     def __contains__(self, name: str) -> bool:
         return name in self._knobs
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[KnobDef]:
         return iter(self._knobs.values())
 
     def __len__(self) -> int:
@@ -144,6 +150,27 @@ class KnobCatalog:
     def restart_required_knobs(self) -> list[KnobDef]:
         """The paper's non-tunable knobs."""
         return [k for k in self._knobs.values() if k.restart_required]
+
+    def vector_transform_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-catalog ``(mins, maxs, log_mask, spans)`` arrays, cached.
+
+        The batched vector<->value transforms in :mod:`repro.tuners.base`
+        are called with thousands of candidate rows per recommendation;
+        rebuilding these little arrays from the knob definitions on every
+        call would dominate the transform. Catalogs are immutable after
+        construction, so the cache never invalidates.
+        """
+        arrays = self._transform_arrays
+        if arrays is None:
+            knobs = list(self._knobs.values())
+            mins = np.array([k.min_value for k in knobs], dtype=float)
+            maxs = np.array([k.max_value for k in knobs], dtype=float)
+            log_mask = np.array([k.log_scale for k in knobs], dtype=bool)
+            arrays = (mins, maxs, log_mask, maxs - mins)
+            self._transform_arrays = arrays
+        return arrays
 
 
 def postgres_catalog() -> KnobCatalog:

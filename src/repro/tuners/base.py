@@ -30,27 +30,6 @@ __all__ = [
 ]
 
 
-def _transform_arrays(
-    catalog: KnobCatalog,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Per-catalog (mins, maxs, log_mask, spans) arrays, built lazily once.
-
-    The batched vector<->value transforms below are called with thousands
-    of candidate rows per recommendation; rebuilding these little arrays
-    from the knob definitions every call would dominate the transform.
-    """
-    arrays = getattr(catalog, "_vector_transform_arrays", None)
-    if arrays is None:
-        knobs = list(catalog)
-        mins = np.array([k.min_value for k in knobs], dtype=float)
-        maxs = np.array([k.max_value for k in knobs], dtype=float)
-        log_mask = np.array([k.log_scale for k in knobs], dtype=bool)
-        spans = maxs - mins
-        arrays = (mins, maxs, log_mask, spans)
-        catalog._vector_transform_arrays = arrays
-    return arrays
-
-
 def vectors_to_values(vectors: np.ndarray, catalog: KnobCatalog) -> np.ndarray:
     """Batched :func:`vector_to_config` without materialising configs.
 
@@ -64,7 +43,7 @@ def vectors_to_values(vectors: np.ndarray, catalog: KnobCatalog) -> np.ndarray:
         raise ValueError(
             f"vector width {vectors.shape[-1]} != catalog size {len(catalog)}"
         )
-    mins, maxs, log_mask, spans = _transform_arrays(catalog)
+    mins, maxs, log_mask, spans = catalog.vector_transform_arrays()
     with np.errstate(divide="ignore", invalid="ignore"):
         log_values = mins * (maxs / np.where(mins > 0, mins, 1.0)) ** vectors
     linear_values = mins + vectors * spans
@@ -79,7 +58,7 @@ def values_to_vectors(values: np.ndarray, catalog: KnobCatalog) -> np.ndarray:
         raise ValueError(
             f"value width {values.shape[-1]} != catalog size {len(catalog)}"
         )
-    mins, maxs, log_mask, spans = _transform_arrays(catalog)
+    mins, maxs, log_mask, spans = catalog.vector_transform_arrays()
     safe_mins = np.where(mins > 0, mins, 1.0)
     with np.errstate(divide="ignore", invalid="ignore"):
         log_units = np.log(values / safe_mins) / np.log(maxs / safe_mins)
@@ -94,7 +73,7 @@ def config_to_vector(config: KnobConfiguration) -> np.ndarray:
     first so that, e.g., a 16 MB and a 3 GB buffer pool land far apart in
     tuning space while 60 GB and 63 GB land close together.
     """
-    values = []
+    values: list[float] = []
     for knob in config.catalog:
         value = config[knob.name]
         if knob.log_scale:
@@ -116,9 +95,9 @@ def vector_to_config(
         raise ValueError(
             f"vector length {len(vector)} != catalog size {len(catalog)}"
         )
-    values = {}
-    for knob, unit in zip(catalog, vector):
-        unit = float(unit)
+    values: dict[str, float] = {}
+    for knob, raw_unit in zip(catalog, vector):
+        unit = float(raw_unit)
         if knob.log_scale:
             value = knob.min_value * (knob.max_value / knob.min_value) ** unit
         else:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -88,7 +89,9 @@ class _WorkloadArrays:
         #: would order them (earlier-added first among equal objectives).
         self.top: list[TrainingSample] = []
 
-    def append(self, sample: TrainingSample, metric_names) -> None:
+    def append(
+        self, sample: TrainingSample, metric_names: tuple[str, ...]
+    ) -> None:
         self.configs.append(config_to_vector(sample.config))
         self.metrics.append(sample.metrics.as_vector(metric_names))
         self.objective.append(np.array([sample.objective]))
@@ -136,7 +139,7 @@ class WorkloadRepository:
         # Scratch space for derived state shared *across* consumers (e.g.
         # every TDE's workload mapper): consumers namespace their keys and
         # tag entries with the version they were computed at.
-        self.derived_cache: dict = {}
+        self.derived_cache: dict[Any, dict[Any, Any]] = {}
 
     @property
     def version(self) -> int:

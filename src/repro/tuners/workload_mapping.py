@@ -15,6 +15,7 @@ implementation naturally.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -48,7 +49,9 @@ class WorkloadMapper:
         # contents, so they stay valid until the next sample lands. The
         # cache lives *on the repository* so every mapper over the same
         # store (each TDE owns one) shares one set of results.
-        self._cache: dict = repository.derived_cache.setdefault(
+        # Keys: "edges" plus ("map", target, exclude) tuples; values are
+        # (repository version, payload) pairs.
+        self._cache: dict[Any, tuple[int, Any]] = repository.derived_cache.setdefault(
             ("mapper", n_bins), {}
         )
 
