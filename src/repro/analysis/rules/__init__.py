@@ -1,11 +1,13 @@
-"""Builtin lint rules. Importing this package registers R001–R005."""
+"""Builtin lint rules. Importing this package registers R001–R006."""
 
 from repro.analysis.rules.cache_version import CacheVersionBumpRule
 from repro.analysis.rules.knob_registry import KnobRegistryRule
 from repro.analysis.rules.rng import NoGlobalRngRule, RngMustThreadRule
+from repro.analysis.rules.robustness import BoundedControlPlaneRule
 from repro.analysis.rules.wallclock import NoWallclockInSimRule
 
 __all__ = [
+    "BoundedControlPlaneRule",
     "CacheVersionBumpRule",
     "KnobRegistryRule",
     "NoGlobalRngRule",

@@ -1,0 +1,130 @@
+"""R006 bounded-control-plane: no swallowed errors, no unbounded retries.
+
+The control plane (``core/`` and ``cloud/``) is the code that must keep a
+fleet alive while components fail, and it has two classic ways to rot:
+
+- **over-broad exception handling** — a bare ``except:`` (or ``except
+  Exception`` / ``except BaseException``) around an apply or routing call
+  hides the crash/unavailable signals the DFA, reconciler and circuit
+  breakers are built to act on. Failures must be caught by their typed
+  exceptions (``TunerUnavailable``, ``DatabaseCrashed``, ...).
+- **unbounded retry loops** — a ``while True:`` (or other constant-true
+  condition) with no reachable ``break``/``return``/``raise`` can spin a
+  step of the simulated fleet forever. Every retry loop must carry an
+  attempt bound or a deadline in its condition, or an explicit escape.
+
+Tests and benchmarks are exempt — the rule governs library modules only.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import PurePosixPath
+
+from repro.analysis.engine import ParsedModule, is_library_module
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["BoundedControlPlaneRule", "in_control_plane_path"]
+
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def in_control_plane_path(relpath: PurePosixPath) -> bool:
+    """Whether *relpath* is library code under ``core/`` or ``cloud/``."""
+    if not is_library_module(relpath):
+        return False
+    return bool(set(relpath.parts[:-1]) & {"core", "cloud"})
+
+
+def _broad_names(handler_type: ast.expr | None) -> Iterator[str]:
+    """Over-broad exception class names referenced by one handler type."""
+    if handler_type is None:
+        return
+    candidates = (
+        handler_type.elts if isinstance(handler_type, ast.Tuple) else [handler_type]
+    )
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in _BROAD_EXCEPTIONS:
+            yield candidate.id
+
+
+def _is_constant_true(test: ast.expr) -> bool:
+    """Whether a loop condition is a constant that always evaluates true."""
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _has_escape(loop: ast.While) -> bool:
+    """Whether *loop* can exit through break/return/raise in its own body.
+
+    ``break`` only counts at the loop's own level (a break inside a
+    nested loop exits that loop, not this one); ``return`` and ``raise``
+    count anywhere in the body except inside nested function definitions,
+    which execute later, not as part of the loop.
+    """
+
+    def scan(stmts: list[ast.stmt], own_level: bool) -> bool:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Break) and own_level:
+                return True
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                return True
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            nested_loop = isinstance(stmt, (ast.While, ast.For, ast.AsyncFor))
+            for field in ("body", "orelse", "finalbody", "handlers"):
+                children = getattr(stmt, field, None)
+                if not children:
+                    continue
+                if field == "handlers":
+                    children = [h for handler in children for h in handler.body]
+                if scan(children, own_level and not nested_loop):
+                    return True
+        return False
+
+    return scan(loop.body, own_level=True)
+
+
+@register
+class BoundedControlPlaneRule(Rule):
+    """R006: control-plane failure handling must be typed and bounded."""
+
+    id = "R006"
+    title = "unbounded retry or over-broad except in control-plane code"
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        if not in_control_plane_path(module.relpath):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        "bare `except:` swallows the failure signals the "
+                        "control plane must react to; catch the typed "
+                        "exception instead",
+                    )
+                    continue
+                for name in _broad_names(node.type):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"`except {name}` is over-broad for control-plane "
+                        "code; catch the typed exception instead",
+                    )
+            elif isinstance(node, ast.While):
+                if _is_constant_true(node.test) and not _has_escape(node):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        "retry loop with a constant-true condition and no "
+                        "break/return/raise: bound it with an attempt "
+                        "count or a deadline",
+                    )

@@ -220,6 +220,13 @@ _DEMOS = (
 )
 
 
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -241,6 +248,20 @@ def _build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run an example scenario")
     demo.add_argument("name", choices=_DEMOS)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the deterministic fault-injection recovery experiment",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--fleet-size", type=_positive_int, default=3, dest="fleet_size"
+    )
+    chaos.add_argument("--windows", type=_positive_int, default=28)
+    chaos.add_argument(
+        "--quick", action="store_true",
+        help="small fleet / short horizon (CI determinism check)",
+    )
 
     lint = sub.add_parser(
         "lint", help="run the repro static invariant checker"
@@ -325,6 +346,19 @@ def _dispatch(argv: Sequence[str] | None) -> int:
         return 0
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "chaos":
+        # Imported lazily like the analysis package: the chaos harness
+        # pulls in the whole faults layer.
+        from repro.experiments import chaos_recovery
+
+        report = chaos_recovery.run(
+            fleet_size=args.fleet_size,
+            windows=args.windows,
+            seed=args.seed,
+            quick=args.quick,
+        )
+        print(report.render(), end="")
+        return 0
     if args.command == "demo":
         # The examples only exist in a source checkout and are not an
         # installed package, so load the script by path next to this

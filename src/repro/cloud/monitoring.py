@@ -54,6 +54,18 @@ class MonitoringAgent:
             self.read_latency.drop_before(horizon)
             self.iops.drop_before(horizon)
 
+    def filter_result(self, result: ExecutionResult) -> ExecutionResult:
+        """The window's observables as the monitoring pipeline saw them.
+
+        The TDE reads each window *through* monitoring, not straight off
+        the database (§2's Dynatrace integration). A healthy agent passes
+        the result through unchanged; agents whose pipeline drops windows
+        (see :class:`repro.faults.injectors.FaultyMonitoringAgent`) return
+        a telemetry-stripped view instead, which is what puts detectors
+        into degraded mode.
+        """
+        return result
+
     def write_latency_between(self, start_s: float, end_s: float) -> TimeSeries:
         """Write-latency readings in ``[start_s, end_s)``."""
         return self.write_latency.window(start_s, end_s)

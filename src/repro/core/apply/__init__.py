@@ -9,7 +9,11 @@ from repro.core.apply.adapters import (
 )
 from repro.core.apply.dfa import ApplyReport, DataFederationAgent
 from repro.core.apply.nontunable import DowntimeDecision, NonTunableKnobPolicy
-from repro.core.apply.orchestrator import DowntimeWindow, ServiceOrchestrator
+from repro.core.apply.orchestrator import (
+    AlreadyRegistered,
+    DowntimeWindow,
+    ServiceOrchestrator,
+)
 from repro.core.apply.reconciler import ReconcileAction, Reconciler
 from repro.core.apply.restart import (
     ApplyStrategy,
@@ -20,6 +24,7 @@ from repro.core.apply.restart import (
 )
 
 __all__ = [
+    "AlreadyRegistered",
     "ApplyReport",
     "ApplyStrategy",
     "DataFederationAgent",

@@ -10,14 +10,22 @@ stored in the persistence storage used by the service-orchestrator."
 The DFA implements exactly that protocol against a
 :class:`~repro.dbsim.replication.ReplicatedService`, healing any slave it
 crashed and reporting rejection instead of propagating the failure.
+
+Per-node applies are failure-hardened: a *transient* adapter failure
+(``ok=False, crashed=False`` — connection refused, API flake) is retried
+with exponential backoff up to ``max_attempts`` times within a
+``apply_deadline_s`` budget of simulated seconds. Both bounds are hard —
+there is no unbounded retry loop anywhere in the apply path. A *crash*
+is never retried: §4's protocol treats it as a definitive rejection.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.apply.adapters import DatabaseAdapter, adapter_for
+from repro.core.apply.adapters import DatabaseAdapter, NodeApplyResult, adapter_for
 from repro.dbsim.config import KnobConfiguration
+from repro.dbsim.engine import SimulatedDatabase
 from repro.dbsim.replication import ReplicatedService
 
 __all__ = ["ApplyReport", "DataFederationAgent"]
@@ -33,18 +41,76 @@ class ApplyReport:
     skipped_restart_required: tuple[str, ...] = ()
     nodes_updated: int = 0
     healed_slaves: list[int] = field(default_factory=list)
+    #: Total adapter calls across nodes, retries included.
+    attempts: int = 0
+    #: Simulated seconds spent waiting in retry backoff.
+    backoff_s: float = 0.0
+    #: True when the apply was abandoned on the deadline, not a crash.
+    deadline_exceeded: bool = False
 
 
 class DataFederationAgent:
-    """Applies recommendations to all nodes of a service, slave-first."""
+    """Applies recommendations to all nodes of a service, slave-first.
 
-    def __init__(self, adapter: DatabaseAdapter | None = None) -> None:
+    Parameters
+    ----------
+    adapter:
+        Fixed adapter to use (default: resolve per service flavor).
+    max_attempts:
+        Adapter calls per node before giving up on transient failures.
+    backoff_s:
+        First retry's backoff in simulated seconds; doubles per retry.
+    apply_deadline_s:
+        Budget of simulated backoff seconds for one fleet-wide apply;
+        exceeding it abandons the apply with ``deadline_exceeded``.
+    """
+
+    def __init__(
+        self,
+        adapter: DatabaseAdapter | None = None,
+        max_attempts: int = 3,
+        backoff_s: float = 2.0,
+        apply_deadline_s: float = 60.0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if backoff_s <= 0:
+            raise ValueError("backoff_s must be positive")
+        if apply_deadline_s <= 0:
+            raise ValueError("apply_deadline_s must be positive")
         self._adapter = adapter
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.apply_deadline_s = apply_deadline_s
 
     def _resolve_adapter(self, service: ReplicatedService) -> DatabaseAdapter:
         if self._adapter is not None:
             return self._adapter
         return adapter_for(service.flavor)
+
+    def _apply_node(
+        self,
+        adapter: DatabaseAdapter,
+        node: SimulatedDatabase,
+        config: KnobConfiguration,
+        mode: str,
+        report: ApplyReport,
+    ) -> NodeApplyResult:
+        """One node's apply with bounded retry on transient failures."""
+        result = adapter.apply(node, config, mode=mode)
+        report.attempts += 1
+        attempt = 1
+        while (
+            not result.ok
+            and not result.crashed
+            and attempt < self.max_attempts
+            and report.backoff_s < self.apply_deadline_s
+        ):
+            report.backoff_s += self.backoff_s * 2.0 ** (attempt - 1)
+            result = adapter.apply(node, config, mode=mode)
+            report.attempts += 1
+            attempt += 1
+        return result
 
     def apply(
         self,
@@ -56,18 +122,23 @@ class DataFederationAgent:
 
         A crashed slave is healed (restarted with its previous
         configuration) before returning, so rejection leaves the service
-        in its pre-apply state.
+        in its pre-apply state. Transient failures are retried per node
+        (see class docstring); running out of attempts or deadline
+        abandons the apply the same way a slave crash does, rolling
+        already-updated slaves back.
         """
         adapter = self._resolve_adapter(service)
         report = ApplyReport(applied=False)
         previous = service.master.config
         for index, slave in enumerate(service.slaves):
-            result = adapter.apply(slave, config, mode=mode)
-            if result.crashed:
-                slave.heal()
-                report.healed_slaves.append(index)
+            result = self._apply_node(adapter, slave, config, mode, report)
+            if result.crashed or not result.ok:
+                if result.crashed:
+                    slave.heal()
+                    report.healed_slaves.append(index)
                 report.rejected_at = f"slave{index}"
                 report.error = result.error
+                report.deadline_exceeded = not result.crashed
                 # Roll earlier slaves back so rejection leaves the whole
                 # service on its pre-apply configuration (the reconciler
                 # would converge them eventually; do it now).
@@ -77,13 +148,15 @@ class DataFederationAgent:
             report.nodes_updated += 1
             report.skipped_restart_required = result.skipped_restart_required
 
-        result = adapter.apply(service.master, config, mode=mode)
-        if result.crashed:
-            # Master down: heal it and report; the reconciler will restore
-            # slave configs from persistence.
-            service.master.heal()
+        result = self._apply_node(adapter, service.master, config, mode, report)
+        if result.crashed or not result.ok:
+            if result.crashed:
+                # Master down: heal it and report; the reconciler will
+                # restore slave configs from persistence.
+                service.master.heal()
             report.rejected_at = "master"
             report.error = result.error
+            report.deadline_exceeded = not result.crashed
             return report
         report.nodes_updated += 1
         report.skipped_restart_required = result.skipped_restart_required

@@ -16,7 +16,18 @@ from repro.cloud.provisioner import Credentials, ServiceDeployment
 from repro.dbsim.config import KnobConfiguration
 from repro.dbsim.engine import DatabaseCrashed
 
-__all__ = ["DowntimeWindow", "ServiceOrchestrator"]
+__all__ = ["AlreadyRegistered", "DowntimeWindow", "ServiceOrchestrator"]
+
+
+class AlreadyRegistered(ValueError):
+    """Raised when ``register`` would clobber a known instance's state.
+
+    Registering resets the persisted configuration to whatever the
+    deployment's master currently runs — for an instance the orchestrator
+    already manages that silently discards the persisted (tuned) config
+    the reconciler and redeploy path depend on. Use :meth:`adopt` when
+    re-adoption is genuinely intended.
+    """
 
 
 @dataclass(frozen=True)
@@ -42,7 +53,28 @@ class ServiceOrchestrator:
     # -- lifecycle ---------------------------------------------------------------
 
     def register(self, deployment: ServiceDeployment) -> None:
-        """Adopt a deployment; its current config becomes the persisted one."""
+        """Adopt a new deployment; its current config becomes the persisted one.
+
+        Raises :class:`AlreadyRegistered` for an instance id the
+        orchestrator already manages: overwriting would silently replace
+        the persisted (tuned) configuration with whatever the master node
+        happens to run right now. Re-adoption must be explicit — see
+        :meth:`adopt`.
+        """
+        if deployment.instance_id in self._deployments:
+            raise AlreadyRegistered(
+                f"instance {deployment.instance_id!r} is already registered; "
+                "use adopt() to replace it explicitly"
+            )
+        self.adopt(deployment)
+
+    def adopt(self, deployment: ServiceDeployment) -> None:
+        """(Re-)adopt a deployment, resetting its persisted config.
+
+        Unlike :meth:`register` this is idempotent: it is the explicit
+        path for taking over an instance after a migration or a manual
+        rebuild, where discarding the old persisted config is the point.
+        """
         self._deployments[deployment.instance_id] = deployment
         self._persisted[deployment.instance_id] = (
             deployment.service.master.config

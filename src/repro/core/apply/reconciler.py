@@ -6,13 +6,19 @@ defined [which] keeps a watch on config of the database system running on
 the Master node. If the difference in config is observed for a threshold
 time-period (watcher timeout), the reconciliation occurs and the config
 stored in the persistence storage is applied to all nodes."
+
+Reconciliation itself can fail — a node may be down or its adapter apply
+may crash. Each node gets a bounded number of attempts per tick (crashed
+nodes are healed between attempts); a node that still cannot be restored
+is reported in the action and retried at the *next* tick, so one bad node
+can never wedge the reconciler in an unbounded loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.apply.adapters import adapter_for
+from repro.core.apply.adapters import DatabaseAdapter, adapter_for
 from repro.core.apply.orchestrator import ServiceOrchestrator
 from repro.dbsim.replication import ReplicatedService
 
@@ -27,20 +33,43 @@ class ReconcileAction:
     drift_detected: bool
     reconciled: bool
     drift_age_s: float
+    #: Nodes whose config the tick restored from persistence.
+    nodes_restored: int = 0
+    #: Node indices (slaves-first order) still failing after all attempts.
+    failed_nodes: tuple[int, ...] = ()
 
 
 class Reconciler:
-    """Watches master configs against persistence and rolls back drift."""
+    """Watches master configs against persistence and rolls back drift.
+
+    Parameters
+    ----------
+    orchestrator:
+        Source of persisted (last committed) configurations.
+    watcher_timeout_s:
+        Drift older than this triggers reconciliation.
+    adapter:
+        Fixed adapter used for restores (default: per service flavor).
+    max_attempts_per_node:
+        Adapter applies per node per tick before giving up until the
+        next tick — the hard bound that keeps reconciliation finite.
+    """
 
     def __init__(
         self,
         orchestrator: ServiceOrchestrator,
         watcher_timeout_s: float = 120.0,
+        adapter: DatabaseAdapter | None = None,
+        max_attempts_per_node: int = 2,
     ) -> None:
         if watcher_timeout_s <= 0:
             raise ValueError("watcher_timeout_s must be positive")
+        if max_attempts_per_node < 1:
+            raise ValueError("max_attempts_per_node must be >= 1")
         self.orchestrator = orchestrator
         self.watcher_timeout_s = watcher_timeout_s
+        self.max_attempts_per_node = max_attempts_per_node
+        self._adapter = adapter
         self._drift_since: dict[str, float] = {}
 
     def tick(
@@ -60,8 +89,33 @@ class Reconciler:
 
         # Timeout hit: restore persistence to every node (reload is enough
         # for the tunable knobs; restart-required drift waits for downtime).
-        adapter = adapter_for(service.flavor)
-        for node in service.nodes:
-            adapter.apply(node, persisted, mode="reload")
+        adapter = (
+            self._adapter
+            if self._adapter is not None
+            else adapter_for(service.flavor)
+        )
+        restored = 0
+        failed: list[int] = []
+        for index, node in enumerate(service.nodes):
+            ok = False
+            for _ in range(self.max_attempts_per_node):
+                if node.crashed:
+                    node.heal()
+                result = adapter.apply(node, persisted, mode="reload")
+                if result.crashed:
+                    continue
+                if result.ok:
+                    ok = True
+                    break
+            if ok:
+                restored += 1
+            else:
+                failed.append(index)
+        if failed:
+            # Partial restore: keep the drift clock running so the next
+            # tick retries immediately instead of waiting a fresh timeout.
+            return ReconcileAction(
+                instance_id, True, False, age, restored, tuple(failed)
+            )
         self._drift_since.pop(instance_id, None)
-        return ReconcileAction(instance_id, True, True, age)
+        return ReconcileAction(instance_id, True, True, age, restored)

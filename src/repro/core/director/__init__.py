@@ -1,14 +1,28 @@
 """Config director layer: routing, load balancing, config persistence."""
 
-from repro.core.director.config_director import ConfigDirector, SplitRecommendation
+from repro.core.director.breaker import BreakerPolicy, BreakerState, CircuitBreaker
+from repro.core.director.config_director import (
+    FALLBACK_SOURCE,
+    ConfigDirector,
+    SplitRecommendation,
+)
 from repro.core.director.config_repository import ConfigRepository, ConfigVersion
-from repro.core.director.load_balancer import LeastLoadedBalancer, TunerInstance
+from repro.core.director.load_balancer import (
+    LeastLoadedBalancer,
+    NoHealthyTuners,
+    TunerInstance,
+)
 
 __all__ = [
+    "FALLBACK_SOURCE",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
     "ConfigDirector",
     "ConfigRepository",
     "ConfigVersion",
     "LeastLoadedBalancer",
+    "NoHealthyTuners",
     "SplitRecommendation",
     "TunerInstance",
 ]

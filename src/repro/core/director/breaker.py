@@ -1,0 +1,93 @@
+"""Per-tuner-instance circuit breakers for the config director.
+
+A tuner deployment that keeps failing must stop receiving requests —
+routing every tuning request into a dead GPR deployment and waiting for
+it to time out would stall the whole fleet's recommendation pipeline.
+The breaker is the classic three-state machine, driven entirely by
+*simulated* time (request timestamps), never the wall clock:
+
+- **closed** — requests flow; consecutive failures are counted.
+- **open** — tripped after ``failure_threshold`` consecutive failures;
+  the instance is out of the balancer rotation for ``cooldown_s``.
+- **half-open** — the cooldown elapsed; the instance re-enters rotation
+  for one trial request. Success closes the breaker, failure re-opens
+  it immediately.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["BreakerState", "BreakerPolicy", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Trip/recovery parameters shared by a director's breakers."""
+
+    failure_threshold: int = 3
+    cooldown_s: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+
+
+@dataclass
+class CircuitBreaker:
+    """Failure bookkeeping for one tuner instance."""
+
+    policy: BreakerPolicy = field(default_factory=BreakerPolicy)
+    state: BreakerState = BreakerState.CLOSED
+    consecutive_failures: int = 0
+    opened_at_s: float = 0.0
+    times_tripped: int = 0
+
+    def record_failure(self, now_s: float) -> bool:
+        """Count one failure; returns True when the breaker (re)trips."""
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            # The trial request failed: straight back to open.
+            self._trip(now_s)
+            return True
+        if (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.policy.failure_threshold
+        ):
+            self._trip(now_s)
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A served request closes the breaker and clears the count."""
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+
+    def try_half_open(self, now_s: float) -> bool:
+        """Move open → half-open once the cooldown has elapsed."""
+        if (
+            self.state is BreakerState.OPEN
+            and now_s - self.opened_at_s >= self.policy.cooldown_s
+        ):
+            self.state = BreakerState.HALF_OPEN
+            return True
+        return False
+
+    @property
+    def allows_requests(self) -> bool:
+        """Whether the instance should be in the balancer rotation."""
+        return self.state is not BreakerState.OPEN
+
+    def _trip(self, now_s: float) -> None:
+        self.state = BreakerState.OPEN
+        self.opened_at_s = now_s
+        self.times_tripped += 1

@@ -15,12 +15,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.director.breaker import BreakerPolicy, CircuitBreaker
 from repro.core.director.config_repository import ConfigRepository
-from repro.core.director.load_balancer import LeastLoadedBalancer
+from repro.core.director.load_balancer import (
+    LeastLoadedBalancer,
+    NoHealthyTuners,
+    TunerInstance,
+)
 from repro.dbsim.config import KnobConfiguration
-from repro.tuners.base import Recommendation, TuningRequest
+from repro.tuners.base import Recommendation, TunerUnavailable, TuningRequest
 
 __all__ = ["SplitRecommendation", "ConfigDirector"]
+
+#: Source tag on recommendations served from the config repository while
+#: every tuner instance is tripped or unreachable.
+FALLBACK_SOURCE = "last-known-good"
 
 
 @dataclass
@@ -43,11 +52,17 @@ class ConfigDirector:
         self,
         balancer: LeastLoadedBalancer,
         config_repository: ConfigRepository | None = None,
+        breaker_policy: BreakerPolicy | None = None,
     ) -> None:
         self.balancer = balancer
         self.configs = (
             config_repository if config_repository is not None else ConfigRepository()
         )
+        self.breaker_policy = (
+            breaker_policy if breaker_policy is not None else BreakerPolicy()
+        )
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self.fallbacks_served = 0
         self.request_times: list[float] = []
         self._pending_downtime: dict[str, dict[str, float]] = {}
         self._knob_floors: dict[str, dict[str, float]] = {}
@@ -62,21 +77,97 @@ class ConfigDirector:
         whose surrogate is indifferent to a knob — must not regress below
         a value a previous throttle forced up, or the same throttle
         re-fires forever.
+
+        Routing is failure-hardened: a tuner raising
+        :class:`~repro.tuners.base.TunerUnavailable` counts against its
+        circuit breaker (tripping takes the instance out of rotation for
+        the breaker cooldown) and the request is retried on the remaining
+        instances — at most once each, never an unbounded loop. When no
+        instance can serve, the director answers from the config
+        repository's last-known-good version instead of failing the
+        service instance.
         """
         self.request_times.append(request.timestamp_s)
         self._raise_floors(request)
-        instance = self.balancer.assign()
-        recommendation = instance.tuner.recommend(request)
-        recommendation.config = self._apply_floors(
-            request.instance_id, recommendation.config
-        )
-        self.configs.store(
-            request.instance_id,
-            recommendation.config,
-            recommendation.source,
-            request.timestamp_s,
+        now = request.timestamp_s
+        self._refresh_breakers(now)
+        tried: set[str] = set()
+        # Bounded retry: every registered instance is tried at most once.
+        for _ in range(len(self.balancer.instances)):
+            try:
+                instance = self.balancer.pick(exclude=tried)
+            except NoHealthyTuners:
+                break
+            # Charge the queue before recommending (assign() semantics —
+            # the cost model may shift once the surrogate refits) and
+            # refund if the instance turns out to be unreachable.
+            cost = instance.tuner.recommendation_cost_s()
+            instance.outstanding_s += cost
+            instance.requests_served += 1
+            try:
+                recommendation = instance.tuner.recommend(request)
+            except TunerUnavailable:
+                instance.outstanding_s = max(0.0, instance.outstanding_s - cost)
+                instance.requests_served -= 1
+                tried.add(instance.instance_id)
+                self._record_failure(instance, now)
+                continue
+            self._breaker_for(instance.instance_id).record_success()
+            recommendation.config = self._apply_floors(
+                request.instance_id, recommendation.config
+            )
+            self.configs.store(
+                request.instance_id,
+                recommendation.config,
+                recommendation.source,
+                request.timestamp_s,
+            )
+            return self._split(request.config, recommendation)
+        return self._serve_fallback(request)
+
+    # -- circuit breaking --------------------------------------------------------
+
+    def _breaker_for(self, tuner_instance_id: str) -> CircuitBreaker:
+        breaker = self.breakers.get(tuner_instance_id)
+        if breaker is None:
+            breaker = CircuitBreaker(policy=self.breaker_policy)
+            self.breakers[tuner_instance_id] = breaker
+        return breaker
+
+    def _record_failure(self, instance: TunerInstance, now_s: float) -> None:
+        if self._breaker_for(instance.instance_id).record_failure(now_s):
+            self.balancer.set_health(instance.instance_id, False)
+
+    def _refresh_breakers(self, now_s: float) -> None:
+        """Let cooled-down breakers re-admit their instances (half-open)."""
+        for tuner_instance_id, breaker in self.breakers.items():
+            if breaker.try_half_open(now_s):
+                self.balancer.set_health(tuner_instance_id, True)
+
+    def breaker_trips(self) -> int:
+        """Total times any tuner instance's breaker tripped."""
+        return sum(b.times_tripped for b in self.breakers.values())
+
+    def _serve_fallback(self, request: TuningRequest) -> SplitRecommendation:
+        """Answer from the config repository while the breakers are open.
+
+        The last-known-good version is the most recent recommendation the
+        director itself stored for the instance; with no history at all
+        the fallback simply holds the current configuration. Either way
+        the service instance gets a valid (possibly stale) answer instead
+        of an error from deep inside the tuning layer.
+        """
+        self.fallbacks_served += 1
+        latest = self.configs.latest(request.instance_id)
+        config = latest.config if latest is not None else request.config
+        recommendation = Recommendation(
+            instance_id=request.instance_id,
+            config=self._apply_floors(request.instance_id, config),
+            source=FALLBACK_SOURCE,
         )
         return self._split(request.config, recommendation)
+
+    # -- floor management --------------------------------------------------------
 
     def _raise_floors(self, request: TuningRequest) -> None:
         if request.throttle_class != "memory" or not request.throttle_knobs:

@@ -5,15 +5,27 @@ tasks across multiple tuner instances." Tuner instances differ hugely in
 recommendation cost (a GPR retrain vs an actor forward pass), so the
 balancer tracks each instance's outstanding work in estimated seconds and
 routes every request to the least-loaded instance.
+
+Instances can be taken *out of rotation* (``healthy = False``) — the
+config director's circuit breaker does this for instances whose
+deployments keep failing — and :meth:`LeastLoadedBalancer.pick` only ever
+considers in-rotation instances, raising the typed
+:class:`NoHealthyTuners` error when none remain so the director can fall
+back instead of crashing on ``min()`` of an empty sequence.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Collection
 
 from repro.tuners.base import Tuner
 
-__all__ = ["TunerInstance", "LeastLoadedBalancer"]
+__all__ = ["NoHealthyTuners", "TunerInstance", "LeastLoadedBalancer"]
+
+
+class NoHealthyTuners(RuntimeError):
+    """Every tuner instance is out of rotation (or excluded)."""
 
 
 @dataclass
@@ -24,6 +36,9 @@ class TunerInstance:
     tuner: Tuner
     outstanding_s: float = 0.0
     requests_served: int = 0
+    #: In-rotation flag: the circuit breaker clears it when the instance's
+    #: deployment keeps failing and restores it after the cooldown.
+    healthy: bool = True
 
     def busy_fraction(self, capacity_s: float) -> float:
         """Outstanding work relative to *capacity_s* of queue budget."""
@@ -42,10 +57,28 @@ class LeastLoadedBalancer:
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate tuner instance ids")
         self.instances = list(instances)
+        self._by_id = {inst.instance_id: inst for inst in self.instances}
 
-    def pick(self) -> TunerInstance:
-        """The instance that would finish a new request soonest."""
-        return min(self.instances, key=lambda inst: inst.outstanding_s)
+    def pick(self, exclude: Collection[str] = ()) -> TunerInstance:
+        """The in-rotation instance that would finish a new request soonest.
+
+        Raises :class:`NoHealthyTuners` when every instance is out of
+        rotation or excluded — a typed error the director catches to
+        serve its last-known-good fallback.
+        """
+        candidates = [
+            inst
+            for inst in self.instances
+            if inst.healthy and inst.instance_id not in exclude
+        ]
+        if not candidates:
+            raise NoHealthyTuners(
+                "no tuner instance in rotation "
+                f"({len(self.instances)} registered, "
+                f"{len(self.healthy_instances())} healthy, "
+                f"{len(tuple(exclude))} excluded)"
+            )
+        return min(candidates, key=lambda inst: inst.outstanding_s)
 
     def assign(self) -> TunerInstance:
         """Pick an instance and charge it its recommendation cost."""
@@ -60,6 +93,25 @@ class LeastLoadedBalancer:
             raise ValueError("elapsed_s must be >= 0")
         for instance in self.instances:
             instance.outstanding_s = max(0.0, instance.outstanding_s - elapsed_s)
+
+    # -- rotation management ---------------------------------------------------
+
+    def get(self, instance_id: str) -> TunerInstance:
+        """Instance by id (KeyError on unknown ids)."""
+        try:
+            return self._by_id[instance_id]
+        except KeyError:
+            raise KeyError(f"unknown tuner instance {instance_id!r}") from None
+
+    def healthy_instances(self) -> list[TunerInstance]:
+        """Instances currently in rotation."""
+        return [inst for inst in self.instances if inst.healthy]
+
+    def set_health(self, instance_id: str, healthy: bool) -> None:
+        """Move an instance in or out of rotation."""
+        self.get(instance_id).healthy = healthy
+
+    # -- aggregate accounting ---------------------------------------------------
 
     def total_outstanding_s(self) -> float:
         """Queued work across all instances."""

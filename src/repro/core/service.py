@@ -21,6 +21,7 @@ a workload and a tuning policy:
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.cloud.monitoring import MonitoringAgent
@@ -85,6 +86,8 @@ class AutoDBaaS:
         window_s: float = 300.0,
         downtime_period_s: float = 86_400.0,
         seed: int = 0,
+        dfa: DataFederationAgent | None = None,
+        monitoring_factory: Callable[[str], MonitoringAgent] | None = None,
     ) -> None:
         if not tuners:
             raise ValueError("need at least one tuner instance")
@@ -100,7 +103,13 @@ class AutoDBaaS:
         self.director = ConfigDirector(self.balancer)
         self.orchestrator = ServiceOrchestrator(downtime_period_s)
         self.reconciler = Reconciler(self.orchestrator)
-        self.dfa = DataFederationAgent()
+        # Injection seams for the fault layer (repro.faults): a custom DFA
+        # carries a faulty adapter, a custom monitoring factory produces
+        # gap-dropping agents. Defaults reproduce the fault-free service.
+        self.dfa = dfa if dfa is not None else DataFederationAgent()
+        self._monitoring_factory = (
+            monitoring_factory if monitoring_factory is not None else MonitoringAgent
+        )
         self.downtime_policy = NonTunableKnobPolicy(self.director.configs)
         self.instances: dict[str, ManagedInstance] = {}
         self.clock_s = 0.0
@@ -139,7 +148,7 @@ class AutoDBaaS:
             deployment=deployment,
             workload=workload,
             tde=tde,
-            monitoring=MonitoringAgent(instance_id),
+            monitoring=self._monitoring_factory(instance_id),
             policy=policy,
             periodic_interval_s=periodic_interval_s,
             apply_mode=apply_mode,
@@ -180,7 +189,13 @@ class AutoDBaaS:
         managed.monitoring.ingest(result)
         managed.throughput_history.append(result.throughput)
 
-        report = managed.tde.inspect(result) if managed.policy != "monitor" else None
+        # The TDE reads the window through the monitoring agent (§2's
+        # external monitoring), so telemetry gaps reach it as missing
+        # series and it degrades instead of inspecting stale data.
+        observed = managed.monitoring.filter_result(result)
+        report = (
+            managed.tde.inspect(observed) if managed.policy != "monitor" else None
+        )
         outcome.tde_report = report
 
         request = self._tuning_decision(managed, result, report)

@@ -152,7 +152,14 @@ class BgwriterThrottleDetector:
         )
 
     def inspect(self, result: ExecutionResult) -> list[Throttle]:
-        """Detect background-writer throttles for one window."""
+        """Detect background-writer throttles for one window.
+
+        With no disk telemetry in the window (monitoring gap) there is no
+        latency to score pressure with: answer "no throttle" rather than
+        fabricate a ratio from missing data.
+        """
+        if len(result.data_disk.write_latency) == 0:
+            return []
         baseline = self.baseline_for(result.batch.workload_name)
         self.last_baseline = baseline
         if baseline is None or baseline.ratio <= 0:

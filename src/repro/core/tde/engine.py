@@ -32,6 +32,9 @@ class TDEReport:
 
     throttles: list[Throttle] = field(default_factory=list)
     escalations: list[PlanUpgradeRequest] = field(default_factory=list)
+    #: True when monitoring telemetry was missing this window and one or
+    #: more detectors were skipped rather than run on empty data.
+    degraded: bool = False
 
     @property
     def needs_tuning(self) -> bool:
@@ -102,13 +105,24 @@ class ThrottlingDetectionEngine:
         self._window_index = 0
 
     def inspect(self, result: ExecutionResult) -> TDEReport:
-        """Run one TDE round over an executed window."""
+        """Run one TDE round over an executed window.
+
+        Degraded mode: the bgwriter detector reads disk latency from the
+        *external monitoring agent* (§3.2), so a telemetry gap — an empty
+        disk-latency series in the window — means it has nothing sound to
+        compare against the baseline. It is skipped (no throttle, never an
+        exception) and the report is marked ``degraded``; the DB-side
+        detectors (memory, planner) observe the database directly and keep
+        running.
+        """
         report = TDEReport()
+        telemetry_ok = len(result.data_disk.write_latency) > 0
+        report.degraded = not telemetry_ok
         if KnobClass.MEMORY in self.enabled_classes:
             memory = self.memory_detector.inspect(self.db, result)
             report.throttles.extend(memory.throttles)
             report.escalations.extend(memory.escalations)
-        if KnobClass.BGWRITER in self.enabled_classes:
+        if KnobClass.BGWRITER in self.enabled_classes and telemetry_ok:
             report.throttles.extend(self.bgwriter_detector.inspect(result))
         run_planner = (
             KnobClass.ASYNC_PLANNER in self.enabled_classes

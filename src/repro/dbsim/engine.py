@@ -214,6 +214,18 @@ class SimulatedDatabase:
         self._pending_stall_s += RESTART_DOWNTIME_S
         self._cold_windows = len(_COLD_CACHE_FACTORS)
 
+    def set_disk_degradation(self, factor: float) -> None:
+        """Scale both devices' service latency (fault injection hook).
+
+        ``factor`` 1.0 restores a healthy disk; > 1.0 models a degrading
+        VM volume (the latency multiplier applies to data and WAL devices
+        alike, as both live on the instance's virtual disk).
+        """
+        if factor <= 0:
+            raise ValueError("degradation factor must be positive")
+        self._data_disk.degradation = factor
+        self._wal_disk.degradation = factor
+
     # -- observation surface ---------------------------------------------------
 
     def explain(

@@ -85,6 +85,10 @@ class DiskSimulator:
     def __init__(self, kind: DiskKind, name: str = "data") -> None:
         self.kind = kind
         self.name = name
+        #: Multiplier on service latency — 1.0 is a healthy device; fault
+        #: injection raises it to model a degrading VM disk. Multiplied in
+        #: only when != 1.0 so the healthy path stays byte-identical.
+        self.degradation = 1.0
 
     def _utilisation(self, traffic: DiskTraffic) -> np.ndarray:
         bandwidth_util = (traffic.read_mb_s + traffic.write_mb_s) / self.kind.throughput_mb_s
@@ -113,6 +117,9 @@ class DiskSimulator:
         util = self._utilisation(traffic)
         write_lat = self.latency_ms(util)
         read_lat = self.latency_ms(util * 0.85)
+        if self.degradation != 1.0:
+            write_lat = write_lat * self.degradation
+            read_lat = read_lat * self.degradation
         total_iops = traffic.read_iops + traffic.write_iops
         if rng is not None and noise > 0.0:
             jitter = rng.lognormal(0.0, noise, size=traffic.seconds)

@@ -9,6 +9,7 @@ from repro.experiments import (
     ablation_hybrid,
     ablation_learned_tde,
     ablations,
+    chaos_recovery,
     fig02_memory_table,
     fig03_04_entropy,
     fig05_disk_latency,
@@ -27,6 +28,7 @@ __all__ = [
     "ablation_hybrid",
     "ablation_learned_tde",
     "ablations",
+    "chaos_recovery",
     "fig02_memory_table",
     "fig03_04_entropy",
     "fig05_disk_latency",

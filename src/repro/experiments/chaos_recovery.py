@@ -1,0 +1,376 @@
+"""Chaos experiment: inject control-plane faults, measure recovery.
+
+Two identical AutoDBaaS landscapes run the same seeded workloads window
+by window. The *baseline* landscape's fault injector is disabled (every
+shim is a transparent pass-through); the *faulted* landscape delivers a
+:class:`~repro.faults.plan.FaultPlan` compiled from the same seed —
+tuner outages, slow recommendations, transient apply failures, crashes
+mid-apply, telemetry gaps and disk degradation — all confined to an
+early fault phase so the tail of the run measures recovery.
+
+The report answers the two robustness questions:
+
+- **time to recovery** — how many simulated seconds after the last fault
+  clears until fleet throughput is back to >= 90% of the fault-free run;
+- **throughput retention** — the faulted fleet's total throughput as a
+  fraction of the baseline's, overall and post-recovery.
+
+Everything — workloads, tuner draws, fault schedule — derives from one
+seed through :func:`~repro.common.rng.make_rng`, so the rendered report
+is byte-identical across runs with the same arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.provisioner import Provisioner
+from repro.core.apply.adapters import adapter_for
+from repro.core.apply.dfa import DataFederationAgent
+from repro.core.apply.reconciler import Reconciler
+from repro.core.director.breaker import BreakerPolicy
+from repro.core.service import AutoDBaaS
+from repro.dbsim.knobs import postgres_catalog
+from repro.experiments.common import offline_train
+from repro.faults.injectors import (
+    FaultInjector,
+    FaultyAdapter,
+    FaultyMonitoringAgent,
+    FaultyTuner,
+)
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.tuners.ottertune import OtterTuneTuner
+from repro.workloads.tpcc import TPCCWorkload
+
+__all__ = ["WindowPoint", "ChaosReport", "run"]
+
+#: Recovery bar: the faulted fleet must regain this fraction of the
+#: fault-free fleet's window throughput.
+RECOVERY_THRESHOLD = 0.9
+
+#: Tuner deployments behind the balancer (two, so an outage has a
+#: failover path before the breaker forces last-known-good fallback).
+_TUNER_COUNT = 2
+
+
+@dataclass(frozen=True)
+class WindowPoint:
+    """Fleet throughput in one monitoring window, both landscapes."""
+
+    window: int
+    start_s: float
+    baseline_tps: float
+    faulted_tps: float
+    active_faults: tuple[str, ...] = ()
+
+    @property
+    def ratio(self) -> float:
+        return self.faulted_tps / self.baseline_tps if self.baseline_tps > 0 else 1.0
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced."""
+
+    seed: int
+    fleet_size: int
+    windows: int
+    window_s: float
+    plan: FaultPlan
+    points: list[WindowPoint] = field(default_factory=list)
+    delivered: dict[str, int] = field(default_factory=dict)
+    breaker_trips: int = 0
+    fallbacks_served: int = 0
+    telemetry_gap_windows: int = 0
+    degraded_tde_windows: int = 0
+    recovery_window: int | None = None
+
+    @property
+    def last_fault_end_s(self) -> float:
+        return self.plan.last_fault_end_s()
+
+    @property
+    def time_to_recovery_s(self) -> float | None:
+        """Seconds from the last fault clearing to the recovery window."""
+        if self.recovery_window is None:
+            return None
+        return max(0.0, self.recovery_window * self.window_s - self.last_fault_end_s)
+
+    @property
+    def retention(self) -> float:
+        """Faulted / baseline total throughput over the whole run."""
+        baseline = sum(p.baseline_tps for p in self.points)
+        faulted = sum(p.faulted_tps for p in self.points)
+        return faulted / baseline if baseline > 0 else 1.0
+
+    @property
+    def post_recovery_retention(self) -> float:
+        """Faulted / baseline throughput from the recovery window on."""
+        if self.recovery_window is None:
+            return 0.0
+        tail = self.points[self.recovery_window :]
+        baseline = sum(p.baseline_tps for p in tail)
+        faulted = sum(p.faulted_tps for p in tail)
+        return faulted / baseline if baseline > 0 else 1.0
+
+    def render(self) -> str:
+        """Fixed-format text report (byte-identical for a given seed)."""
+        lines = [
+            "chaos recovery report "
+            f"(seed={self.seed} fleet={self.fleet_size} "
+            f"windows={self.windows} window_s={self.window_s:.0f})",
+            "",
+            "scheduled faults:",
+        ]
+        for event in self.plan.events:
+            lines.append(
+                f"  {event.start_s:7.0f}s +{event.duration_s:6.0f}s  "
+                f"{event.kind.value:<20s} {event.target:<10s} "
+                f"x{event.magnitude:.2f}"
+            )
+        lines += ["", "  w      start_s  baseline_tps   faulted_tps  ratio  faults"]
+        for p in self.points:
+            faults = ",".join(p.active_faults) if p.active_faults else "-"
+            lines.append(
+                f"  {p.window:02d}  {p.start_s:9.0f}  {p.baseline_tps:12.1f}  "
+                f"{p.faulted_tps:12.1f}  {p.ratio:5.3f}  {faults}"
+            )
+        delivered = " ".join(
+            f"{kind}={count}" for kind, count in sorted(self.delivered.items())
+        )
+        lines += [
+            "",
+            f"delivered: {delivered if delivered else '-'}",
+            (
+                f"control plane: breaker_trips={self.breaker_trips} "
+                f"fallbacks_served={self.fallbacks_served} "
+                f"telemetry_gap_windows={self.telemetry_gap_windows} "
+                f"degraded_tde_windows={self.degraded_tde_windows}"
+            ),
+            f"last fault clears: {self.last_fault_end_s:.0f}s",
+        ]
+        if self.recovery_window is None:
+            lines.append("recovery: NOT RECOVERED within the run")
+        else:
+            lines.append(
+                f"recovery: window {self.recovery_window:02d} "
+                f"(+{self.time_to_recovery_s:.0f}s after last fault)"
+            )
+        lines.append(
+            f"throughput retention: overall={self.retention:.3f} "
+            f"post_recovery={self.post_recovery_retention:.3f}"
+        )
+        recovered = (
+            self.recovery_window is not None
+            and self.post_recovery_retention >= RECOVERY_THRESHOLD
+        )
+        lines.append(
+            f"verdict: {'PASS' if recovered else 'FAIL'} "
+            f"(post-recovery retention threshold {RECOVERY_THRESHOLD:.2f})"
+        )
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class _Landscape:
+    """One wired landscape plus the handles the harness reads back."""
+
+    service: AutoDBaaS
+    injector: FaultInjector
+    monitors: dict[str, FaultyMonitoringAgent]
+
+
+def _build_landscape(
+    seed: int,
+    fleet_size: int,
+    window_s: float,
+    injector: FaultInjector,
+    offline_configs: int,
+) -> _Landscape:
+    """Build one landscape; identical inputs give identical landscapes.
+
+    Baseline and faulted runs call this with equal arguments except the
+    injector's ``enabled`` flag, so they share every RNG draw and differ
+    only where faults are actually delivered.
+    """
+    catalog = postgres_catalog()
+    repository = offline_train(
+        catalog,
+        [TPCCWorkload(rps=12_000.0, data_size_gb=30.0, seed=seed + 90)],
+        n_configs=offline_configs,
+        seed=seed + 91,
+    )
+    tuners = [
+        FaultyTuner(
+            OtterTuneTuner(
+                catalog,
+                repository,
+                n_candidates=100,
+                memory_limit_mb=None,  # repaired per-instance by the facade
+                seed=seed + 40 + i,
+            ),
+            injector,
+            f"tuner-{i:02d}",  # matches the facade's TunerInstance ids
+        )
+        for i in range(_TUNER_COUNT)
+    ]
+    adapter = FaultyAdapter(adapter_for("postgres"), injector)
+    monitors: dict[str, FaultyMonitoringAgent] = {}
+
+    def monitoring_factory(instance_id: str) -> FaultyMonitoringAgent:
+        agent = FaultyMonitoringAgent(instance_id, injector)
+        monitors[instance_id] = agent
+        return agent
+
+    service = AutoDBaaS(
+        tuners,
+        repository,
+        window_s=window_s,
+        seed=seed,
+        dfa=DataFederationAgent(adapter=adapter),
+        monitoring_factory=monitoring_factory,
+    )
+    # Route the reconciler's restore path through the same (possibly
+    # faulty) adapter, with a one-window watcher timeout so drift left by
+    # crashes mid-apply is healed while the run can still observe it.
+    service.reconciler = Reconciler(
+        service.orchestrator, watcher_timeout_s=window_s, adapter=adapter
+    )
+    # Trip fast and recover fast relative to the short horizon: two
+    # consecutive routing failures open a tuner's breaker for two windows.
+    service.director.breaker_policy = BreakerPolicy(
+        failure_threshold=2, cooldown_s=2.0 * window_s
+    )
+
+    provisioner = Provisioner(seed=seed + 5)
+    for i in range(fleet_size):
+        deployment = provisioner.provision(
+            plan="m4.xlarge", flavor="postgres", data_size_gb=30.0 + 2.0 * i
+        )
+        # Constant-rate TPC-C hot enough to keep the instance mildly
+        # capacity-bound even when tuned: faults then show up as lost
+        # throughput instead of disappearing into idle headroom.
+        workload = TPCCWorkload(
+            rps=6000.0,
+            data_size_gb=deployment.service.master.data_size_gb,
+            seed=seed + 10 + i,
+        )
+        service.attach(deployment, workload, policy="tde")
+        adapter.register_service(
+            deployment.instance_id, deployment.service.nodes
+        )
+    return _Landscape(service=service, injector=injector, monitors=monitors)
+
+
+def _run_landscape(
+    landscape: _Landscape, windows: int, window_s: float
+) -> tuple[list[float], int]:
+    """Advance a landscape; return per-window fleet tps + degraded count."""
+    service = landscape.service
+    injector = landscape.injector
+    fleet_tps: list[float] = []
+    degraded = 0
+    for _ in range(windows):
+        injector.advance(service.clock_s)
+        for instance_id, managed in service.instances.items():
+            event = injector.hit(FaultKind.DISK_DEGRADATION, instance_id)
+            factor = event.magnitude if event is not None else 1.0
+            for node in managed.deployment.service.nodes:
+                node.set_disk_degradation(factor)
+        outcomes = service.step()
+        fleet_tps.append(
+            sum(o.result.throughput for o in outcomes if o.result is not None)
+        )
+        degraded += sum(
+            1
+            for o in outcomes
+            if o.tde_report is not None and o.tde_report.degraded
+        )
+    return fleet_tps, degraded
+
+
+def run(
+    fleet_size: int = 3,
+    windows: int = 28,
+    window_s: float = 300.0,
+    seed: int = 0,
+    quick: bool = False,
+) -> ChaosReport:
+    """Run the chaos experiment; see the module docstring.
+
+    ``quick`` shrinks the fleet and the horizon for CI (the schedule
+    still covers every fault kind and leaves a fault-free tail).
+    """
+    if quick:
+        fleet_size = min(fleet_size, 2)
+        windows = min(windows, 18)
+    offline_configs = 6 if quick else 10
+    service_ids = [f"svc-{i:04d}" for i in range(fleet_size)]
+    tuner_ids = [f"tuner-{i:02d}" for i in range(_TUNER_COUNT)]
+    # Fault phase confined to the first ~60% of the run; the tail is
+    # fault-free and measures recovery.
+    end_window = max(6, (windows * 3) // 5)
+    plan = FaultPlan.compile(
+        seed + 50,
+        tuner_ids=tuner_ids,
+        service_ids=service_ids,
+        window_s=window_s,
+        start_window=4,
+        end_window=end_window,
+    )
+
+    baseline = _build_landscape(
+        seed, fleet_size, window_s,
+        FaultInjector(plan, enabled=False), offline_configs,
+    )
+    faulted = _build_landscape(
+        seed, fleet_size, window_s,
+        FaultInjector(plan, enabled=True), offline_configs,
+    )
+    baseline_tps, _ = _run_landscape(baseline, windows, window_s)
+    faulted_tps, degraded = _run_landscape(faulted, windows, window_s)
+
+    points = []
+    for w, (b_tps, f_tps) in enumerate(zip(baseline_tps, faulted_tps)):
+        start = w * window_s
+        active = sorted(
+            {
+                e.kind.value
+                for e in plan.events
+                if e.start_s <= start < e.end_s
+            }
+        )
+        points.append(
+            WindowPoint(w, start, b_tps, f_tps, tuple(active))
+        )
+
+    last_end = plan.last_fault_end_s()
+    recovery_window = None
+    for point in points:
+        if point.start_s < last_end:
+            continue
+        if point.faulted_tps >= RECOVERY_THRESHOLD * point.baseline_tps:
+            recovery_window = point.window
+            break
+
+    report = ChaosReport(
+        seed=seed,
+        fleet_size=fleet_size,
+        windows=windows,
+        window_s=window_s,
+        plan=plan,
+        points=points,
+        delivered={
+            kind.value: faulted.injector.delivered(kind)
+            for kind in FaultKind
+            if faulted.injector.delivered(kind)
+        },
+        breaker_trips=faulted.service.director.breaker_trips(),
+        fallbacks_served=faulted.service.director.fallbacks_served,
+        telemetry_gap_windows=sum(
+            m.gap_windows for m in faulted.monitors.values()
+        ),
+        degraded_tde_windows=degraded,
+        recovery_window=recovery_window,
+    )
+    return report

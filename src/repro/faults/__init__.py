@@ -1,0 +1,37 @@
+"""Deterministic fault injection for the AutoDBaaS control plane.
+
+The paper sells AutoDBaaS as safe to run against live production
+databases (§4: slave-first apply, reconciler, persisted configs). This
+package supplies the adversary that claim is tested against: a seeded
+:class:`FaultPlan` compiled from a master seed via
+:func:`repro.common.rng.make_rng`, and thin injection shims wrapped
+around the tuner instances, the DFA's database adapters and the
+monitoring agents. Same seed ⇒ same fault schedule ⇒ byte-identical
+chaos reports.
+
+Nothing in ``repro.core`` imports this package — the control plane is
+hardened against *interfaces misbehaving* (a tuner raising
+``TunerUnavailable``, an adapter reporting a failed apply, a monitoring
+window with no telemetry), and these shims are just one deterministic way
+to make the interfaces misbehave.
+"""
+
+from repro.faults.injectors import (
+    FaultInjector,
+    FaultyAdapter,
+    FaultyMonitoringAgent,
+    FaultyTuner,
+    strip_telemetry,
+)
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultyAdapter",
+    "FaultyMonitoringAgent",
+    "FaultyTuner",
+    "strip_telemetry",
+]

@@ -20,6 +20,7 @@ from repro.dbsim.metrics import MetricsDelta
 
 __all__ = [
     "TrainingSample",
+    "TunerUnavailable",
     "TuningRequest",
     "Recommendation",
     "Tuner",
@@ -28,6 +29,17 @@ __all__ = [
     "vectors_to_values",
     "values_to_vectors",
 ]
+
+
+class TunerUnavailable(RuntimeError):
+    """A tuner instance cannot serve a recommendation right now.
+
+    Raised by deployed tuner instances when the backing deployment is
+    down or unreachable. The config director treats it as a routing
+    failure: it counts against the instance's circuit breaker and the
+    request is retried on another instance, never propagated to the
+    service instance that asked for tuning.
+    """
 
 
 def vectors_to_values(vectors: np.ndarray, catalog: KnobCatalog) -> np.ndarray:

@@ -26,9 +26,9 @@ def rules_hit(findings) -> set[str]:
 
 
 class TestRegistry:
-    def test_all_five_builtin_rules_registered(self):
+    def test_all_builtin_rules_registered(self):
         ids = [cls.id for cls in all_rules()]
-        assert ids == ["R001", "R002", "R003", "R004", "R005"]
+        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
 
     def test_get_rule_unknown_raises(self):
         with pytest.raises(KeyError, match="R999"):
@@ -418,6 +418,179 @@ class TestR005KnobRegistryConsistency:
             CLAMP_ME = {"work_mem": 10**9}
             """,
             relpath="tests/unit/test_clamp.py",
+        )
+        assert findings == []
+
+
+class TestR006BoundedControlPlane:
+    def test_bad_bare_except_in_core(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def apply(adapter, node, config):
+                try:
+                    return adapter.apply(node, config)
+                except:
+                    return None
+            """,
+            relpath="repro/core/apply/mod.py",
+        )
+        assert rules_hit(findings) == {"R006"}
+        assert "bare `except:`" in findings[0].message
+
+    def test_bad_broad_except_exception_in_cloud(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def poll(agent):
+                try:
+                    return agent.read()
+                except Exception:
+                    return None
+            """,
+            relpath="repro/cloud/mod.py",
+        )
+        assert rules_hit(findings) == {"R006"}
+
+    def test_bad_broad_except_in_tuple(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def poll(agent):
+                try:
+                    return agent.read()
+                except (KeyError, BaseException):
+                    return None
+            """,
+            relpath="repro/core/director/mod.py",
+        )
+        assert rules_hit(findings) == {"R006"}
+        assert "BaseException" in findings[0].message
+
+    def test_bad_unbounded_while_true_retry(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def retry(op):
+                while True:
+                    op()
+            """,
+            relpath="repro/core/apply/mod.py",
+        )
+        assert rules_hit(findings) == {"R006"}
+        assert "attempt" in findings[0].message
+
+    def test_bad_break_in_nested_loop_does_not_escape(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def retry(op, items):
+                while True:
+                    for item in items:
+                        if op(item):
+                            break
+            """,
+            relpath="repro/core/apply/mod.py",
+        )
+        assert rules_hit(findings) == {"R006"}
+
+    def test_good_typed_except_and_bounded_retry(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def retry(op, max_attempts):
+                for _ in range(max_attempts):
+                    try:
+                        return op()
+                    except KeyError:
+                        continue
+                raise TimeoutError("out of attempts")
+            """,
+            relpath="repro/core/apply/mod.py",
+        )
+        assert findings == []
+
+    def test_good_while_true_with_break(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def drain(queue):
+                while True:
+                    if not queue:
+                        break
+                    queue.pop()
+            """,
+            relpath="repro/core/director/mod.py",
+        )
+        assert findings == []
+
+    def test_good_while_true_with_return_inside_try(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def wait(op):
+                while True:
+                    try:
+                        return op()
+                    except KeyError:
+                        pass
+            """,
+            relpath="repro/core/apply/mod.py",
+        )
+        assert findings == []
+
+    def test_good_bounded_condition_loop(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def wait(elapsed, total):
+                while elapsed < total:
+                    elapsed += 1.0
+            """,
+            relpath="repro/core/apply/mod.py",
+        )
+        assert findings == []
+
+    def test_good_outside_control_plane(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def retry(op):
+                while True:
+                    try:
+                        op()
+                    except Exception:
+                        pass
+            """,
+            relpath="repro/dbsim/mod.py",
+        )
+        assert findings == []
+
+    def test_good_tests_exempt(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def retry(op):
+                try:
+                    op()
+                except Exception:
+                    pass
+            """,
+            relpath="tests/unit/test_core_mod.py",
+        )
+        assert findings == []
+
+    def test_noqa_suppresses_r006(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def poll(agent):
+                try:
+                    return agent.read()
+                except Exception:  # repro: noqa[R006] plugin boundary
+                    return None
+            """,
+            relpath="repro/core/tde/mod.py",
         )
         assert findings == []
 

@@ -25,6 +25,16 @@ class TestCLI:
         assert main(["run", "fig08"]) == 0
         assert "daily total" in capsys.readouterr().out
 
+    def test_chaos_quick(self, capsys):
+        args = ["chaos", "--quick", "--seed", "3", "--windows", "8", "--fleet-size", "1"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "chaos recovery report" in first
+        assert "verdict:" in first
+        # Same seed and flags must reproduce the report byte for byte.
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "fig99"])
