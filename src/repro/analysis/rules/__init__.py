@@ -1,7 +1,8 @@
-"""Builtin lint rules. Importing this package registers R001–R006."""
+"""Builtin lint rules. Importing this package registers R001–R007."""
 
 from repro.analysis.rules.cache_version import CacheVersionBumpRule
 from repro.analysis.rules.knob_registry import KnobRegistryRule
+from repro.analysis.rules.observability import RecorderMustThreadRule
 from repro.analysis.rules.rng import NoGlobalRngRule, RngMustThreadRule
 from repro.analysis.rules.robustness import BoundedControlPlaneRule
 from repro.analysis.rules.wallclock import NoWallclockInSimRule
@@ -12,5 +13,6 @@ __all__ = [
     "KnobRegistryRule",
     "NoGlobalRngRule",
     "NoWallclockInSimRule",
+    "RecorderMustThreadRule",
     "RngMustThreadRule",
 ]

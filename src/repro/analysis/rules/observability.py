@@ -1,0 +1,152 @@
+"""R007 recorder-must-thread: observability seams must stay wired.
+
+Core components take a ``recorder`` parameter instead of importing the
+obs layer — that DI seam is the observability design's layering
+contract. The seam only helps if intermediate constructors *thread* the
+recorder: a core function that has a recorder in scope and builds a
+recorder-aware component without passing one silently severs the trace
+tree, because the component falls back to the no-op ``NullRecorder``
+and every span downstream disappears.
+
+Mirrors R003's shape for RNGs ("construction must state its seed"):
+construction must state its recorder wherever one is in scope. Aware
+callables are discovered live — the rule imports ``repro.core`` and
+collects every class or function with a ``recorder`` parameter, the
+same way R005 reads the live knob registry — so newly instrumented
+components are covered without touching the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from collections.abc import Iterator
+from functools import lru_cache
+
+from repro.analysis.engine import ParsedModule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["RecorderMustThreadRule"]
+
+
+@lru_cache(maxsize=1)
+def _aware_callables() -> frozenset[str]:
+    """Qualified names of ``repro.core`` callables taking ``recorder``."""
+    import importlib
+    import pkgutil
+
+    import repro.core
+
+    aware: set[str] = set()
+    for info in pkgutil.walk_packages(
+        repro.core.__path__, prefix="repro.core."
+    ):
+        try:
+            module = importlib.import_module(info.name)
+        except Exception:  # pragma: no cover - optional deps may be absent
+            continue
+        for name, obj in vars(module).items():
+            if getattr(obj, "__module__", None) != info.name:
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            try:
+                signature = inspect.signature(obj)
+            except (TypeError, ValueError):  # pragma: no cover
+                continue
+            if "recorder" in signature.parameters:
+                aware.add(f"{info.name}.{name}")
+    return frozenset(aware)
+
+
+def _has_recorder_param(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    args = node.args
+    every = (
+        *args.posonlyargs, *args.args, *args.kwonlyargs,
+        *((args.vararg,) if args.vararg else ()),
+        *((args.kwarg,) if args.kwarg else ()),
+    )
+    return any(arg.arg == "recorder" for arg in every)
+
+
+def _passes_recorder(call: ast.Call) -> bool:
+    """Whether *call* states a recorder (keyword, ``**kwargs``, or a bare
+    positional ``recorder`` name)."""
+    for keyword in call.keywords:
+        if keyword.arg == "recorder" or keyword.arg is None:
+            return True
+    return any(
+        isinstance(arg, ast.Name) and arg.id == "recorder"
+        for arg in call.args
+    )
+
+
+@register
+class RecorderMustThreadRule(Rule):
+    """R007: recorder-aware components built in-scope must get the recorder.
+
+    Scope: modules under ``core/`` only — that is where the DI seam
+    lives; experiments and tests legitimately build un-traced components.
+    A function is "in scope" when it has a ``recorder`` parameter itself
+    or is a method of a class whose ``__init__`` takes one (instances
+    carry ``self.recorder``).
+    """
+
+    id = "R007"
+    title = "recorder-aware component built without threading the recorder"
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        if "core" not in module.relpath.parts:
+            return
+        aware = _aware_callables()
+        if not aware:  # pragma: no cover - discovery import failed
+            return
+        yield from self._scan(module, module.tree, aware, in_scope=False)
+
+    def _scan(
+        self,
+        module: ParsedModule,
+        node: ast.AST,
+        aware: frozenset[str],
+        in_scope: bool,
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from self._scan(
+                    module, child, aware,
+                    in_scope or self._aware_class(child),
+                )
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._scan(
+                    module, child, aware,
+                    in_scope or _has_recorder_param(child),
+                )
+            else:
+                if in_scope and isinstance(child, ast.Call):
+                    yield from self._check_call(module, child, aware)
+                yield from self._scan(module, child, aware, in_scope)
+
+    def _aware_class(self, node: ast.ClassDef) -> bool:
+        for child in node.body:
+            if (
+                isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and child.name == "__init__"
+            ):
+                return _has_recorder_param(child)
+        return False
+
+    def _check_call(
+        self, module: ParsedModule, call: ast.Call, aware: frozenset[str]
+    ) -> Iterator[Finding]:
+        qualified = module.imports.qualify(call.func)
+        if qualified not in aware or _passes_recorder(call):
+            return
+        name = qualified.rsplit(".", 1)[-1]
+        yield self.finding(
+            module,
+            call.lineno,
+            call.col_offset,
+            f"`{name}(...)` takes a recorder and one is in scope; pass "
+            "`recorder=...` or the trace tree is silently severed",
+        )

@@ -6,6 +6,7 @@ Usage (installed as ``repro`` or via ``python -m repro``)::
     repro run fig02                    # regenerate one figure's data
     repro run fig09 --fleet-size 80 --hours 24   # paper scale
     repro demo quickstart              # run an example scenario
+    repro trace chaos                  # record a deterministic trace
 """
 
 from __future__ import annotations
@@ -263,6 +264,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="small fleet / short horizon (CI determinism check)",
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="run an experiment under the trace recorder and export it",
+    )
+    trace.add_argument(
+        "experiment",
+        choices=("chaos", "fleet"),
+        help="what to trace: the quick chaos profile or a small live fleet",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--out", default="trace",
+        help="output prefix: writes <out>.jsonl and <out>.chrome.json",
+    )
+    trace.add_argument(
+        "--profile", action="store_true",
+        help="measure host time per span and print the profile table",
+    )
+    trace.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics registry in Prometheus text format",
+    )
+    trace.add_argument(
+        "--fleet-size", type=_positive_int, default=3, dest="fleet_size",
+        help="fleet experiment only: live fleet size",
+    )
+    trace.add_argument(
+        "--hours", type=float, default=1.0,
+        help="fleet experiment only: simulated hours after warm-up",
+    )
+    trace.add_argument(
+        "--warmup-hours", type=float, default=0.5, dest="warmup_hours",
+        help="fleet experiment only: warm-up hours before counting",
+    )
+
     lint = sub.add_parser(
         "lint", help="run the repro static invariant checker"
     )
@@ -319,6 +355,35 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    # Imported lazily: the harness pulls in the chaos and fleet drivers.
+    from pathlib import Path
+
+    from repro.experiments import trace_run
+
+    artifacts = trace_run.run(
+        experiment=args.experiment,
+        seed=args.seed,
+        host_time=args.profile,
+        fleet_size=args.fleet_size,
+        hours=args.hours,
+        warmup_hours=args.warmup_hours,
+    )
+    jsonl_path = Path(f"{args.out}.jsonl")
+    chrome_path = Path(f"{args.out}.chrome.json")
+    jsonl_path.write_text(artifacts.jsonl)
+    chrome_path.write_text(artifacts.chrome_json)
+    print(artifacts.summary(), end="")
+    print(f"wrote: {jsonl_path} {chrome_path}")
+    if args.profile:
+        print()
+        print(artifacts.profile_table, end="")
+    if args.metrics:
+        print()
+        print(artifacts.metrics_text, end="")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     try:
@@ -346,6 +411,8 @@ def _dispatch(argv: Sequence[str] | None) -> int:
         return 0
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "trace":
+        return _run_trace(args)
     if args.command == "chaos":
         # Imported lazily like the analysis package: the chaos harness
         # pulls in the whole faults layer.

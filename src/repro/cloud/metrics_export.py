@@ -2,21 +2,62 @@
 
 The paper's landscape feeds an external monitoring system (Dynatrace);
 an open-source deployment would scrape Prometheus. This module renders a
-:class:`~repro.cloud.monitoring.MonitoringAgent`'s latest readings and a
-landscape's throttle/request counters in the Prometheus text exposition
-format (v0.0.4), so the simulator can stand in for a real scrape target
-in integration environments.
+:class:`~repro.cloud.monitoring.MonitoringAgent`'s latest readings, a
+landscape's throttle/request counters, and — since the observability
+layer landed — a whole :class:`~repro.obs.metrics.MetricsRegistry`
+(counters, gauges and bucketed histograms) in the Prometheus text
+exposition format (v0.0.4), so the simulator can stand in for a real
+scrape target in integration environments.
 """
 
 from __future__ import annotations
 
 from repro.cloud.monitoring import MonitoringAgent
+from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["render_agent_metrics", "render_counters"]
+__all__ = ["render_agent_metrics", "render_counters", "render_registry"]
 
 
 def _sanitise_label(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", " ")
+    """Escape a label value per the exposition format: ``\\``, ``"``, LF."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_sanitise_label(value)}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def render_registry(registry: MetricsRegistry) -> str:
+    """Every family of *registry* in Prometheus text exposition format.
+
+    Families render in name order with their ``# HELP`` / ``# TYPE``
+    header even when no sample has landed yet (empty series), histograms
+    as cumulative ``_bucket{le=...}`` samples plus ``_sum``/``_count`` —
+    the full exposition shape, deterministically ordered.
+    """
+    lines: list[str] = []
+    for name in sorted(registry.families):
+        family = registry.families[name]
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample in family.samples():
+            rendered = (
+                f"{sample.value:.6g}"
+                if sample.value != int(sample.value)
+                else f"{int(sample.value)}"
+            )
+            lines.append(
+                f"{sample.name}{_render_labels(sample.labels)} {rendered}"
+            )
+    return "\n".join(lines) + "\n"
 
 
 def render_agent_metrics(agent: MonitoringAgent) -> str:

@@ -5,11 +5,16 @@ Everything in :mod:`repro` that needs randomness takes a
 in the benchmark suite is reproducible bit-for-bit.
 """
 
+from repro.common.recording import NULL_RECORDER, NullRecorder, Recorder, Span
 from repro.common.rng import derive_rng, make_rng
 from repro.common.stats import exponential_moving_average, percentile
 from repro.common.timeseries import TimeSeries
 
 __all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "Span",
     "TimeSeries",
     "derive_rng",
     "exponential_moving_average",

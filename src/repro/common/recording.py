@@ -1,0 +1,111 @@
+"""The recorder seam: how the control plane reports what it is doing.
+
+The observability subsystem (:mod:`repro.obs`) must see every control
+plane decision — TDE verdicts, director routing, DFA applies, fault
+firings — without the control plane depending on it. This module is the
+seam: a :class:`Recorder` base whose every method is a no-op, living in
+``common/`` so that ``core/`` (and ``faults/``, ``tuners/``) can accept a
+``recorder`` parameter while never importing ``repro.obs``. The live
+implementation (:class:`repro.obs.TraceRecorder`) subclasses it.
+
+Determinism contract: with the default :data:`NULL_RECORDER` every call
+is a no-op that draws no randomness, reads no clock and allocates no
+state, so instrumented code paths stay byte-identical to uninstrumented
+ones. A live recorder only ever *observes* simulated time — it is told
+the clock via :meth:`Recorder.advance`, it never reads one.
+
+The interface is deliberately small:
+
+- :meth:`Recorder.advance` — move the recorder's simulated clock (the
+  landscape step loop calls this once per window);
+- :meth:`Recorder.span` — a context manager bracketing one unit of work
+  (a window, a routing decision, an apply), optionally with an explicit
+  simulated duration (a tuner's modelled recommendation cost, a DFA's
+  backoff budget);
+- :meth:`Recorder.event` — one instantaneous structured fact;
+- :meth:`Recorder.inc` / :meth:`Recorder.set_gauge` /
+  :meth:`Recorder.observe` — counter / gauge / histogram samples for the
+  metrics registry.
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+
+__all__ = ["Span", "Recorder", "NullRecorder", "NULL_SPAN", "NULL_RECORDER"]
+
+
+class Span:
+    """A no-op span handle; live recorders return a recording subclass.
+
+    Usable directly as a context manager. :meth:`set` attaches attributes
+    to the span after it is opened (e.g. the verdict of the work it
+    brackets).
+    """
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes to the span (no-op here)."""
+
+    def __enter__(self) -> Span:
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        return None
+
+
+#: Shared reusable no-op span (stateless, so one instance suffices).
+NULL_SPAN = Span()
+
+
+class Recorder:
+    """All-no-op recorder; the default for every instrumented seam."""
+
+    __slots__ = ()
+
+    def advance(self, now_s: float) -> None:
+        """Move the recorder's simulated clock to *now_s* (monotonic)."""
+
+    def span(
+        self,
+        name: str,
+        *,
+        instance: str = "",
+        duration_s: float | None = None,
+        **attrs: object,
+    ) -> Span:
+        """Open a span named *name*; use as a context manager.
+
+        ``duration_s`` pins the span's simulated duration explicitly
+        (modelled costs); without it the span closes at the recorder's
+        clock position on exit.
+        """
+        return NULL_SPAN
+
+    def event(self, name: str, *, instance: str = "", **attrs: object) -> None:
+        """Record one instantaneous structured event."""
+
+    def inc(self, name: str, value: float = 1.0, **labels: str) -> None:
+        """Increment counter *name* for the given label set."""
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set gauge *name* for the given label set."""
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Record one observation into histogram *name*."""
+
+
+class NullRecorder(Recorder):
+    """Explicitly-named no-op recorder (``Recorder`` is already no-op)."""
+
+    __slots__ = ()
+
+
+#: Shared no-op recorder instances normalise ``recorder=None`` against.
+NULL_RECORDER = NullRecorder()

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.common.recording import NULL_RECORDER, Recorder
 from repro.core.apply.adapters import DatabaseAdapter, NodeApplyResult, adapter_for
 from repro.dbsim.config import KnobConfiguration
 from repro.dbsim.engine import SimulatedDatabase
@@ -63,6 +64,10 @@ class DataFederationAgent:
     apply_deadline_s:
         Budget of simulated backoff seconds for one fleet-wide apply;
         exceeding it abandons the apply with ``deadline_exceeded``.
+    recorder:
+        Observability seam (:mod:`repro.common.recording`): each apply
+        opens a ``dfa.apply`` span, retries emit ``dfa.retry`` events and
+        outcomes land in the metrics registry. Default: no-op.
     """
 
     def __init__(
@@ -71,6 +76,7 @@ class DataFederationAgent:
         max_attempts: int = 3,
         backoff_s: float = 2.0,
         apply_deadline_s: float = 60.0,
+        recorder: Recorder | None = None,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -82,6 +88,7 @@ class DataFederationAgent:
         self.max_attempts = max_attempts
         self.backoff_s = backoff_s
         self.apply_deadline_s = apply_deadline_s
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     def _resolve_adapter(self, service: ReplicatedService) -> DatabaseAdapter:
         if self._adapter is not None:
@@ -95,6 +102,8 @@ class DataFederationAgent:
         config: KnobConfiguration,
         mode: str,
         report: ApplyReport,
+        node_name: str,
+        instance_id: str,
     ) -> NodeApplyResult:
         """One node's apply with bounded retry on transient failures."""
         result = adapter.apply(node, config, mode=mode)
@@ -107,6 +116,13 @@ class DataFederationAgent:
             and report.backoff_s < self.apply_deadline_s
         ):
             report.backoff_s += self.backoff_s * 2.0 ** (attempt - 1)
+            self.recorder.event(
+                "dfa.retry",
+                instance=instance_id,
+                node=node_name,
+                attempt=attempt,
+                error=result.error,
+            )
             result = adapter.apply(node, config, mode=mode)
             report.attempts += 1
             attempt += 1
@@ -117,6 +133,7 @@ class DataFederationAgent:
         service: ReplicatedService,
         config: KnobConfiguration,
         mode: str = "reload",
+        instance_id: str = "",
     ) -> ApplyReport:
         """Apply *config* slave-first; reject on any slave crash.
 
@@ -126,12 +143,48 @@ class DataFederationAgent:
         (see class docstring); running out of attempts or deadline
         abandons the apply the same way a slave crash does, rolling
         already-updated slaves back.
+
+        *instance_id* only labels trace spans and metrics — the service
+        itself carries no identity, so callers that have one pass it in.
         """
+        with self.recorder.span(
+            "dfa.apply", instance=instance_id, mode=mode
+        ) as span:
+            report = self._apply(service, config, mode, instance_id)
+            span.set(
+                applied=report.applied,
+                rejected_at=report.rejected_at,
+                attempts=report.attempts,
+                nodes_updated=report.nodes_updated,
+            )
+        outcome = (
+            "applied"
+            if report.applied
+            else ("deadline" if report.deadline_exceeded else "rejected")
+        )
+        self.recorder.inc(
+            "repro_applies_total", instance=instance_id, outcome=outcome
+        )
+        if report.backoff_s > 0.0:
+            self.recorder.observe(
+                "repro_apply_backoff_seconds", report.backoff_s
+            )
+        return report
+
+    def _apply(
+        self,
+        service: ReplicatedService,
+        config: KnobConfiguration,
+        mode: str,
+        instance_id: str,
+    ) -> ApplyReport:
         adapter = self._resolve_adapter(service)
         report = ApplyReport(applied=False)
         previous = service.master.config
         for index, slave in enumerate(service.slaves):
-            result = self._apply_node(adapter, slave, config, mode, report)
+            result = self._apply_node(
+                adapter, slave, config, mode, report, f"slave{index}", instance_id
+            )
             if result.crashed or not result.ok:
                 if result.crashed:
                     slave.heal()
@@ -148,7 +201,9 @@ class DataFederationAgent:
             report.nodes_updated += 1
             report.skipped_restart_required = result.skipped_restart_required
 
-        result = self._apply_node(adapter, service.master, config, mode, report)
+        result = self._apply_node(
+            adapter, service.master, config, mode, report, "master", instance_id
+        )
         if result.crashed or not result.ok:
             if result.crashed:
                 # Master down: heal it and report; the reconciler will

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cloud.provisioner import Credentials, ServiceDeployment
+from repro.common.recording import NULL_RECORDER, Recorder
 from repro.dbsim.config import KnobConfiguration
 from repro.dbsim.engine import DatabaseCrashed
 
@@ -44,8 +45,13 @@ class DowntimeWindow:
 class ServiceOrchestrator:
     """Per-landscape orchestrator over provisioned deployments."""
 
-    def __init__(self, downtime_period_s: float = 7 * 86_400.0) -> None:
+    def __init__(
+        self,
+        downtime_period_s: float = 7 * 86_400.0,
+        recorder: Recorder | None = None,
+    ) -> None:
         self.downtime_period_s = downtime_period_s
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._deployments: dict[str, ServiceDeployment] = {}
         self._persisted: dict[str, KnobConfiguration] = {}
         self._last_downtime_s: dict[str, float] = {}
@@ -80,6 +86,11 @@ class ServiceOrchestrator:
             deployment.service.master.config
         )
         self._last_downtime_s.setdefault(deployment.instance_id, 0.0)
+        self.recorder.event(
+            "orchestrator.adopt",
+            instance=deployment.instance_id,
+            flavor=deployment.service.flavor,
+        )
 
     def deployment(self, instance_id: str) -> ServiceDeployment:
         try:
@@ -115,11 +126,19 @@ class ServiceOrchestrator:
         """
         deployment = self.deployment(instance_id)
         config = self.persisted_config(instance_id)
+        healed = 0
         for node in deployment.service.nodes:
             try:
                 node.apply_config(config, mode="restart")
             except DatabaseCrashed:
                 node.heal()
+                healed += 1
+        self.recorder.event(
+            "orchestrator.redeploy",
+            instance=instance_id,
+            nodes=len(deployment.service.nodes),
+            healed=healed,
+        )
 
     # -- downtime windows -----------------------------------------------------------
 
@@ -132,6 +151,8 @@ class ServiceOrchestrator:
         """Mark a downtime as taken."""
         self.deployment(instance_id)
         self._last_downtime_s[instance_id] = now_s
+        self.recorder.event("orchestrator.downtime", instance=instance_id)
+        self.recorder.inc("repro_downtimes_total", instance=instance_id)
 
     def last_downtime_s(self, instance_id: str) -> float:
         return self._last_downtime_s.get(instance_id, 0.0)

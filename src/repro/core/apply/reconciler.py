@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common.recording import NULL_RECORDER, Recorder
 from repro.core.apply.adapters import DatabaseAdapter, adapter_for
 from repro.core.apply.orchestrator import ServiceOrchestrator
 from repro.dbsim.replication import ReplicatedService
@@ -61,6 +62,7 @@ class Reconciler:
         watcher_timeout_s: float = 120.0,
         adapter: DatabaseAdapter | None = None,
         max_attempts_per_node: int = 2,
+        recorder: Recorder | None = None,
     ) -> None:
         if watcher_timeout_s <= 0:
             raise ValueError("watcher_timeout_s must be positive")
@@ -70,6 +72,7 @@ class Reconciler:
         self.watcher_timeout_s = watcher_timeout_s
         self.max_attempts_per_node = max_attempts_per_node
         self._adapter = adapter
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._drift_since: dict[str, float] = {}
 
     def tick(
@@ -111,9 +114,22 @@ class Reconciler:
                 restored += 1
             else:
                 failed.append(index)
+        self.recorder.event(
+            "reconcile.restore",
+            instance=instance_id,
+            drift_age_s=age,
+            restored=restored,
+            failed=len(failed),
+        )
+        self.recorder.inc("repro_reconciliations_total", instance=instance_id)
         if failed:
             # Partial restore: keep the drift clock running so the next
             # tick retries immediately instead of waiting a fresh timeout.
+            self.recorder.inc(
+                "repro_reconcile_failed_nodes_total",
+                instance=instance_id,
+                value=float(len(failed)),
+            )
             return ReconcileAction(
                 instance_id, True, False, age, restored, tuple(failed)
             )

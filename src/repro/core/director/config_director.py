@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.common.recording import NULL_RECORDER, Recorder
 from repro.core.director.breaker import BreakerPolicy, CircuitBreaker
 from repro.core.director.config_repository import ConfigRepository
 from repro.core.director.load_balancer import (
@@ -53,7 +54,9 @@ class ConfigDirector:
         balancer: LeastLoadedBalancer,
         config_repository: ConfigRepository | None = None,
         breaker_policy: BreakerPolicy | None = None,
+        recorder: Recorder | None = None,
     ) -> None:
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.balancer = balancer
         self.configs = (
             config_repository if config_repository is not None else ConfigRepository()
@@ -88,42 +91,77 @@ class ConfigDirector:
         service instance.
         """
         self.request_times.append(request.timestamp_s)
+        self.recorder.inc(
+            "repro_tuning_requests_total", instance=request.instance_id
+        )
         self._raise_floors(request)
         now = request.timestamp_s
         self._refresh_breakers(now)
-        tried: set[str] = set()
-        # Bounded retry: every registered instance is tried at most once.
-        for _ in range(len(self.balancer.instances)):
-            try:
-                instance = self.balancer.pick(exclude=tried)
-            except NoHealthyTuners:
-                break
-            # Charge the queue before recommending (assign() semantics —
-            # the cost model may shift once the surrogate refits) and
-            # refund if the instance turns out to be unreachable.
-            cost = instance.tuner.recommendation_cost_s()
-            instance.outstanding_s += cost
-            instance.requests_served += 1
-            try:
-                recommendation = instance.tuner.recommend(request)
-            except TunerUnavailable:
-                instance.outstanding_s = max(0.0, instance.outstanding_s - cost)
-                instance.requests_served -= 1
-                tried.add(instance.instance_id)
-                self._record_failure(instance, now)
-                continue
-            self._breaker_for(instance.instance_id).record_success()
-            recommendation.config = self._apply_floors(
-                request.instance_id, recommendation.config
-            )
-            self.configs.store(
-                request.instance_id,
-                recommendation.config,
-                recommendation.source,
-                request.timestamp_s,
-            )
-            return self._split(request.config, recommendation)
-        return self._serve_fallback(request)
+        with self.recorder.span(
+            "director.route",
+            instance=request.instance_id,
+            workload=request.workload_id,
+            throttle_class=request.throttle_class,
+        ) as span:
+            tried: set[str] = set()
+            # Bounded retry: every registered instance is tried at most once.
+            for _ in range(len(self.balancer.instances)):
+                try:
+                    instance = self.balancer.pick(exclude=tried)
+                except NoHealthyTuners:
+                    break
+                # Charge the queue before recommending (assign() semantics —
+                # the cost model may shift once the surrogate refits) and
+                # refund if the instance turns out to be unreachable.
+                cost = instance.tuner.recommendation_cost_s()
+                instance.outstanding_s += cost
+                instance.requests_served += 1
+                try:
+                    with self.recorder.span(
+                        "tuner.recommend",
+                        instance=request.instance_id,
+                        duration_s=cost,
+                        tuner=instance.instance_id,
+                        source=instance.tuner.name,
+                    ):
+                        recommendation = instance.tuner.recommend(request)
+                except TunerUnavailable:
+                    instance.outstanding_s = max(
+                        0.0, instance.outstanding_s - cost
+                    )
+                    instance.requests_served -= 1
+                    tried.add(instance.instance_id)
+                    self.recorder.event(
+                        "director.failover",
+                        instance=request.instance_id,
+                        tuner=instance.instance_id,
+                    )
+                    self.recorder.inc(
+                        "repro_tuner_failures_total", tuner=instance.instance_id
+                    )
+                    self._record_failure(instance, now)
+                    continue
+                self.recorder.observe("repro_recommendation_cost_seconds", cost)
+                self._breaker_for(instance.instance_id).record_success()
+                recommendation.config = self._apply_floors(
+                    request.instance_id, recommendation.config
+                )
+                self.configs.store(
+                    request.instance_id,
+                    recommendation.config,
+                    recommendation.source,
+                    request.timestamp_s,
+                )
+                split = self._split(request.config, recommendation)
+                span.set(
+                    source=recommendation.source,
+                    tuner=instance.instance_id,
+                    deferred=len(split.deferred_knobs),
+                )
+                return split
+            split = self._serve_fallback(request)
+            span.set(source=FALLBACK_SOURCE, deferred=len(split.deferred_knobs))
+            return split
 
     # -- circuit breaking --------------------------------------------------------
 
@@ -137,12 +175,17 @@ class ConfigDirector:
     def _record_failure(self, instance: TunerInstance, now_s: float) -> None:
         if self._breaker_for(instance.instance_id).record_failure(now_s):
             self.balancer.set_health(instance.instance_id, False)
+            self.recorder.event("breaker.open", tuner=instance.instance_id)
+            self.recorder.inc(
+                "repro_breaker_trips_total", tuner=instance.instance_id
+            )
 
     def _refresh_breakers(self, now_s: float) -> None:
         """Let cooled-down breakers re-admit their instances (half-open)."""
         for tuner_instance_id, breaker in self.breakers.items():
             if breaker.try_half_open(now_s):
                 self.balancer.set_health(tuner_instance_id, True)
+                self.recorder.event("breaker.half_open", tuner=tuner_instance_id)
 
     def breaker_trips(self) -> int:
         """Total times any tuner instance's breaker tripped."""
@@ -158,6 +201,8 @@ class ConfigDirector:
         of an error from deep inside the tuning layer.
         """
         self.fallbacks_served += 1
+        self.recorder.event("director.fallback", instance=request.instance_id)
+        self.recorder.inc("repro_fallbacks_served_total")
         latest = self.configs.latest(request.instance_id)
         config = latest.config if latest is not None else request.config
         recommendation = Recommendation(

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.cloud.monitoring import MonitoringAgent
 from repro.cloud.provisioner import ServiceDeployment
+from repro.common.recording import NULL_RECORDER, Recorder
 from repro.core.apply.dfa import ApplyReport, DataFederationAgent
 from repro.core.apply.nontunable import NonTunableKnobPolicy
 from repro.core.apply.orchestrator import ServiceOrchestrator
@@ -88,25 +89,36 @@ class AutoDBaaS:
         seed: int = 0,
         dfa: DataFederationAgent | None = None,
         monitoring_factory: Callable[[str], MonitoringAgent] | None = None,
+        recorder: Recorder | None = None,
     ) -> None:
         if not tuners:
             raise ValueError("need at least one tuner instance")
         self.repository = repository if repository is not None else WorkloadRepository()
         self.window_s = window_s
         self.seed = seed
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.balancer = LeastLoadedBalancer(
             [
                 TunerInstance(f"tuner-{i:02d}", tuner)
                 for i, tuner in enumerate(tuners)
             ]
         )
-        self.director = ConfigDirector(self.balancer)
-        self.orchestrator = ServiceOrchestrator(downtime_period_s)
-        self.reconciler = Reconciler(self.orchestrator)
+        for tuner in tuners:
+            tuner.bind_recorder(self.recorder)
+        self.director = ConfigDirector(self.balancer, recorder=self.recorder)
+        self.orchestrator = ServiceOrchestrator(
+            downtime_period_s, recorder=self.recorder
+        )
+        self.reconciler = Reconciler(self.orchestrator, recorder=self.recorder)
         # Injection seams for the fault layer (repro.faults): a custom DFA
         # carries a faulty adapter, a custom monitoring factory produces
         # gap-dropping agents. Defaults reproduce the fault-free service.
-        self.dfa = dfa if dfa is not None else DataFederationAgent()
+        self.dfa = (
+            dfa if dfa is not None else DataFederationAgent(recorder=self.recorder)
+        )
+        if self.dfa.recorder is NULL_RECORDER:
+            # An injected DFA (fault layer) still reports to the landscape.
+            self.dfa.recorder = self.recorder
         self._monitoring_factory = (
             monitoring_factory if monitoring_factory is not None else MonitoringAgent
         )
@@ -143,6 +155,7 @@ class AutoDBaaS:
             deployment.service.master,
             self.repository,
             seed=self.seed + len(self.instances),
+            recorder=self.recorder,
         )
         managed = ManagedInstance(
             deployment=deployment,
@@ -162,15 +175,49 @@ class AutoDBaaS:
     def step(self, window_s: float | None = None) -> list[StepOutcome]:
         """Advance every managed instance one monitoring window."""
         window = window_s if window_s is not None else self.window_s
-        outcomes = [
-            self._step_instance(managed, window)
-            for managed in self.instances.values()
-        ]
-        self.balancer.drain(window)
+        self.recorder.advance(self.clock_s)
+        with self.recorder.span(
+            "landscape.window", duration_s=window, fleet=len(self.instances)
+        ):
+            outcomes = [
+                self._step_instance(managed, window)
+                for managed in self.instances.values()
+            ]
+            self.balancer.drain(window)
         self.clock_s += window
+        self.recorder.inc("repro_windows_total")
+        for instance in self.balancer.instances:
+            self.recorder.set_gauge(
+                "repro_tuner_outstanding_seconds",
+                instance.outstanding_s,
+                tuner=instance.instance_id,
+            )
         return outcomes
 
     def _step_instance(
+        self, managed: ManagedInstance, window: float
+    ) -> StepOutcome:
+        with self.recorder.span(
+            "instance.window",
+            instance=managed.instance_id,
+            duration_s=window,
+            policy=managed.policy,
+        ) as span:
+            outcome = self._step_instance_inner(managed, window)
+            span.set(
+                crashed=outcome.result is None,
+                tuning_requested=outcome.tuning_requested,
+                downtime_taken=outcome.downtime_taken,
+            )
+        if outcome.result is not None:
+            self.recorder.set_gauge(
+                "repro_throughput_tps",
+                outcome.result.throughput,
+                instance=managed.instance_id,
+            )
+        return outcome
+
+    def _step_instance_inner(
         self, managed: ManagedInstance, window: float
     ) -> StepOutcome:
         instance_id = managed.instance_id
@@ -212,14 +259,16 @@ class AutoDBaaS:
                 )
                 self.director.consume_downtime_changes(instance_id)
                 outcome.apply_report = self.dfa.apply(
-                    service, target, mode="restart"
+                    service, target, mode="restart", instance_id=instance_id
                 )
             else:
                 master = service.master
                 target = split.reloadable.fitted_to_budget(
                     master.vm.db_memory_limit_mb, master.active_connections
                 )
-                outcome.apply_report = self.dfa.apply(service, target)
+                outcome.apply_report = self.dfa.apply(
+                    service, target, instance_id=instance_id
+                )
             if outcome.apply_report.applied:
                 self.orchestrator.persist_config(
                     instance_id, service.master.config
@@ -308,7 +357,9 @@ class AutoDBaaS:
         target = master.config.clamped(updates).fitted_to_budget(
             master.vm.db_memory_limit_mb, master.active_connections
         )
-        report = self.dfa.apply(service, target, mode="restart")
+        report = self.dfa.apply(
+            service, target, mode="restart", instance_id=instance_id
+        )
         if report.applied:
             self.orchestrator.persist_config(instance_id, target)
         self.orchestrator.record_downtime(instance_id, self.clock_s)

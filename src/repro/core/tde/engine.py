@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.common.recording import NULL_RECORDER, Recorder
 from repro.core.tde.bgwriter_detector import BgwriterThrottleDetector
 from repro.core.tde.memory_detector import MemoryThrottleDetector
 from repro.core.tde.planner_detector import PlannerThrottleDetector
@@ -74,6 +75,11 @@ class ThrottlingDetectionEngine:
     planner_trigger_every:
         Run the planner MDP probe every N-th window ("interval of 2 to 4
         minutes" against 30–60 s monitoring windows).
+    recorder:
+        Observability seam (:mod:`repro.common.recording`): each round
+        opens a ``tde.inspect`` span, every detector emits a
+        ``tde.verdict`` event, and throttles/degraded windows land in
+        the metrics registry. Default: the no-op recorder.
     """
 
     def __init__(
@@ -84,6 +90,7 @@ class ThrottlingDetectionEngine:
         enabled_classes: set[KnobClass] | None = None,
         planner_trigger_every: int = 4,
         seed: int = 0,
+        recorder: Recorder | None = None,
     ) -> None:
         if planner_trigger_every < 1:
             raise ValueError("planner_trigger_every must be >= 1")
@@ -101,6 +108,7 @@ class ThrottlingDetectionEngine:
         self.planner_detector = PlannerThrottleDetector.for_database(
             instance_id, db, seed=seed
         )
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.log = ThrottleLog()
         self._window_index = 0
 
@@ -118,19 +126,64 @@ class ThrottlingDetectionEngine:
         report = TDEReport()
         telemetry_ok = len(result.data_disk.write_latency) > 0
         report.degraded = not telemetry_ok
-        if KnobClass.MEMORY in self.enabled_classes:
-            memory = self.memory_detector.inspect(self.db, result)
-            report.throttles.extend(memory.throttles)
-            report.escalations.extend(memory.escalations)
-        if KnobClass.BGWRITER in self.enabled_classes and telemetry_ok:
-            report.throttles.extend(self.bgwriter_detector.inspect(result))
-        run_planner = (
-            KnobClass.ASYNC_PLANNER in self.enabled_classes
-            and self._window_index % self.planner_trigger_every == 0
-        )
-        if run_planner:
-            report.throttles.extend(
-                self.planner_detector.inspect(self.db, result)
+        with self.recorder.span(
+            "tde.inspect", instance=self.instance_id, window=self._window_index
+        ) as span:
+            if KnobClass.MEMORY in self.enabled_classes:
+                memory = self.memory_detector.inspect(self.db, result)
+                report.throttles.extend(memory.throttles)
+                report.escalations.extend(memory.escalations)
+                self.recorder.event(
+                    "tde.verdict",
+                    instance=self.instance_id,
+                    detector="memory",
+                    throttles=len(memory.throttles),
+                    escalations=len(memory.escalations),
+                )
+            if KnobClass.BGWRITER in self.enabled_classes:
+                if telemetry_ok:
+                    bgwriter = self.bgwriter_detector.inspect(result)
+                    report.throttles.extend(bgwriter)
+                    self.recorder.event(
+                        "tde.verdict",
+                        instance=self.instance_id,
+                        detector="bgwriter",
+                        throttles=len(bgwriter),
+                    )
+                else:
+                    self.recorder.event(
+                        "tde.verdict",
+                        instance=self.instance_id,
+                        detector="bgwriter",
+                        skipped="telemetry-gap",
+                    )
+            run_planner = (
+                KnobClass.ASYNC_PLANNER in self.enabled_classes
+                and self._window_index % self.planner_trigger_every == 0
+            )
+            if run_planner:
+                planner = self.planner_detector.inspect(self.db, result)
+                report.throttles.extend(planner)
+                self.recorder.event(
+                    "tde.verdict",
+                    instance=self.instance_id,
+                    detector="planner",
+                    throttles=len(planner),
+                )
+            span.set(
+                throttles=len(report.throttles),
+                degraded=report.degraded,
+                needs_tuning=report.needs_tuning,
+            )
+        for throttle in report.throttles:
+            self.recorder.inc(
+                "repro_throttles_total",
+                instance=self.instance_id,
+                knob_class=throttle.knob_class.value,
+            )
+        if report.degraded:
+            self.recorder.inc(
+                "repro_tde_degraded_windows_total", instance=self.instance_id
             )
         self._window_index += 1
         self.log.record(report.throttles)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cloud.provisioner import Provisioner
+from repro.common.recording import Recorder
 from repro.core.apply.adapters import adapter_for
 from repro.core.apply.dfa import DataFederationAgent
 from repro.core.apply.reconciler import Reconciler
@@ -186,13 +187,18 @@ def _build_landscape(
     window_s: float,
     injector: FaultInjector,
     offline_configs: int,
+    recorder: Recorder | None = None,
 ) -> _Landscape:
     """Build one landscape; identical inputs give identical landscapes.
 
     Baseline and faulted runs call this with equal arguments except the
     injector's ``enabled`` flag, so they share every RNG draw and differ
-    only where faults are actually delivered.
+    only where faults are actually delivered. A *recorder* (the trace
+    harness) observes this landscape's control plane; with None every
+    seam keeps the no-op default and behaviour is byte-identical.
     """
+    if recorder is not None:
+        injector.recorder = recorder
     catalog = postgres_catalog()
     repository = offline_train(
         catalog,
@@ -229,12 +235,16 @@ def _build_landscape(
         seed=seed,
         dfa=DataFederationAgent(adapter=adapter),
         monitoring_factory=monitoring_factory,
+        recorder=recorder,
     )
     # Route the reconciler's restore path through the same (possibly
     # faulty) adapter, with a one-window watcher timeout so drift left by
     # crashes mid-apply is healed while the run can still observe it.
     service.reconciler = Reconciler(
-        service.orchestrator, watcher_timeout_s=window_s, adapter=adapter
+        service.orchestrator,
+        watcher_timeout_s=window_s,
+        adapter=adapter,
+        recorder=recorder,
     )
     # Trip fast and recover fast relative to the short horizon: two
     # consecutive routing failures open a tuner's breaker for two windows.
@@ -295,11 +305,14 @@ def run(
     window_s: float = 300.0,
     seed: int = 0,
     quick: bool = False,
+    recorder: Recorder | None = None,
 ) -> ChaosReport:
     """Run the chaos experiment; see the module docstring.
 
     ``quick`` shrinks the fleet and the horizon for CI (the schedule
     still covers every fault kind and leaves a fault-free tail).
+    *recorder* observes the **faulted** landscape only (the baseline
+    landscape is the control — tracing it would double every span).
     """
     if quick:
         fleet_size = min(fleet_size, 2)
@@ -326,6 +339,7 @@ def run(
     faulted = _build_landscape(
         seed, fleet_size, window_s,
         FaultInjector(plan, enabled=True), offline_configs,
+        recorder=recorder,
     )
     baseline_tps, _ = _run_landscape(baseline, windows, window_s)
     faulted_tps, degraded = _run_landscape(faulted, windows, window_s)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cloud.fleet import LiveFleet
+from repro.common.recording import NULL_RECORDER, Recorder
 from repro.core.tde.engine import ThrottlingDetectionEngine
 from repro.dbsim.knobs import postgres_catalog
 from repro.experiments.common import offline_train
@@ -61,6 +62,7 @@ def run(
     bucket_s: float = 3600.0,
     warmup_hours: float = 2.0,
     seed: int = 0,
+    recorder: Recorder | None = None,
 ) -> Fig09Run:
     """Simulate the fleet for *hours* and count tuning requests.
 
@@ -68,7 +70,10 @@ def run(
     suppresses the next throttle, which the paper calls out as directly
     affecting the request rate); periodic counts are analytic
     (``fleet / period``, what a period-driven director would emit).
+    A *recorder* (the trace harness) observes the TDE rounds and the
+    director's routing; None keeps the no-op default.
     """
+    rec = recorder if recorder is not None else NULL_RECORDER
     catalog = postgres_catalog()
     # Bootstrap the tuner with a *stress-rate* offline session: the
     # samples must rank configurations, and good recommendations are what
@@ -107,8 +112,10 @@ def run(
     from repro.core.director.config_director import ConfigDirector
     from repro.core.director.load_balancer import LeastLoadedBalancer, TunerInstance
 
+    tuner.bind_recorder(rec)
     director = ConfigDirector(
-        LeastLoadedBalancer([TunerInstance("tuner-00", tuner)])
+        LeastLoadedBalancer([TunerInstance("tuner-00", tuner)]),
+        recorder=rec,
     )
     # The TDE reads a bounded sample of each member's streaming log; at
     # paper scale a smaller per-window sample keeps the day-long 80-member
@@ -130,6 +137,7 @@ def run(
             member.deployment.service.master,
             repository,
             seed=seed + i,
+            recorder=rec,
         )
         for i, member in enumerate(fleet.members)
     }
@@ -139,40 +147,44 @@ def run(
     windows = int((hours + warmup_hours) * 3600.0 / window_s)
     for _ in range(windows):
         now = fleet.clock_s - warmup_end
-        for member, result in fleet.step(window_s):
-            report = tdes[member.instance_id].inspect(result)
-            if not report.needs_tuning:
-                continue
-            if now >= 0.0:
-                # The fleet converges during warm-up (floors settle, caps
-                # get filtered); counting starts afterwards, like the
-                # paper's long-connected deployments.
-                request_times.append(now)
-            master = member.deployment.service.master
-            repository.add(
-                TrainingSample(
-                    result.batch.workload_name, result.config, result.metrics, now
+        rec.advance(fleet.clock_s)
+        with rec.span(
+            "landscape.window", duration_s=window_s, fleet=fleet_size
+        ):
+            for member, result in fleet.step(window_s):
+                report = tdes[member.instance_id].inspect(result)
+                if not report.needs_tuning:
+                    continue
+                if now >= 0.0:
+                    # The fleet converges during warm-up (floors settle,
+                    # caps get filtered); counting starts afterwards, like
+                    # the paper's long-connected deployments.
+                    request_times.append(now)
+                master = member.deployment.service.master
+                repository.add(
+                    TrainingSample(
+                        result.batch.workload_name, result.config, result.metrics, now
+                    )
                 )
-            )
-            actionable = [t for t in report.throttles if not t.requires_restart]
-            split = director.handle_tuning_request(
-                TuningRequest(
-                    member.instance_id,
-                    result.batch.workload_name,
-                    result.config,
-                    result.metrics,
-                    throttle_class=actionable[0].knob_class.value,
-                    throttle_knobs=tuple(
-                        sorted({n for t in actionable for n in t.knobs})
-                    ),
-                    timestamp_s=now,
+                actionable = [t for t in report.throttles if not t.requires_restart]
+                split = director.handle_tuning_request(
+                    TuningRequest(
+                        member.instance_id,
+                        result.batch.workload_name,
+                        result.config,
+                        result.metrics,
+                        throttle_class=actionable[0].knob_class.value,
+                        throttle_knobs=tuple(
+                            sorted({n for t in actionable for n in t.knobs})
+                        ),
+                        timestamp_s=now,
+                    )
                 )
-            )
-            fitted = split.reloadable.fitted_to_budget(
-                master.vm.db_memory_limit_mb, master.active_connections
-            )
-            master.apply_config(fitted, mode="reload")
-            director.balancer.drain(window_s)
+                fitted = split.reloadable.fitted_to_budget(
+                    master.vm.db_memory_limit_mb, master.active_connections
+                )
+                master.apply_config(fitted, mode="reload")
+                director.balancer.drain(window_s)
 
     points: list[RequestRatePoint] = []
     buckets = int(hours * 3600.0 / bucket_s)

@@ -13,6 +13,7 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from repro.cloud.monitoring import MonitoringAgent
+from repro.common.recording import NULL_RECORDER, Recorder
 from repro.common.timeseries import TimeSeries
 from repro.core.apply.adapters import DatabaseAdapter, NodeApplyResult
 from repro.dbsim.config import KnobConfiguration
@@ -60,6 +61,9 @@ class FaultInjector:
     now_s: float = 0.0
     enabled: bool = True
     log: list[InjectionRecord] = field(default_factory=list)
+    #: Observability seam: delivered faults emit ``fault.delivered``
+    #: events and count into ``repro_faults_delivered_total``.
+    recorder: Recorder = field(default=NULL_RECORDER)
 
     def advance(self, now_s: float) -> None:
         """Move the injector's clock to simulated *now_s*."""
@@ -72,6 +76,12 @@ class FaultInjector:
         event = self.plan.active(kind, target, self.now_s)
         if event is not None:
             self.log.append(InjectionRecord(self.now_s, kind, target))
+            self.recorder.event(
+                "fault.delivered", kind=kind.value, target=target
+            )
+            self.recorder.inc(
+                "repro_faults_delivered_total", kind=kind.value
+            )
         return event
 
     def delivered(self, kind: FaultKind) -> int:
@@ -93,6 +103,10 @@ class FaultyTuner(Tuner):
 
     def learn(self, sample: TrainingSample) -> None:
         self.inner.learn(sample)
+
+    def bind_recorder(self, recorder: Recorder) -> None:
+        self.recorder = recorder
+        self.inner.bind_recorder(recorder)
 
     def recommend(self, request: TuningRequest) -> Recommendation:
         if self.injector.hit(FaultKind.TUNER_OUTAGE, self.tuner_id):

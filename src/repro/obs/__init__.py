@@ -1,0 +1,35 @@
+"""Deterministic observability: tracing, metrics, profiling.
+
+The control plane reports through the :class:`~repro.common.recording.Recorder`
+seam (``core/`` never imports this package); :class:`TraceRecorder` is
+the live implementation that keeps simulated-time spans, structured
+events and a :class:`MetricsRegistry`, all derived from deterministic
+counters so identical seeded runs trace byte-identically. See
+``docs/observability.md``.
+"""
+
+from repro.common.recording import NULL_RECORDER, NullRecorder, Recorder, Span
+from repro.obs.export import jsonl_lines, to_chrome_trace, to_jsonl
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricFamily, MetricSample, MetricsRegistry
+from repro.obs.profile import ProfileRow, profile, render_profile
+from repro.obs.trace import TraceEvent, TraceRecorder, TraceSpan
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricFamily",
+    "MetricSample",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "ProfileRow",
+    "Recorder",
+    "Span",
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceSpan",
+    "jsonl_lines",
+    "profile",
+    "render_profile",
+    "to_chrome_trace",
+    "to_jsonl",
+]

@@ -1,0 +1,175 @@
+"""Deterministic trace exports: JSONL and Chrome trace-event format.
+
+The JSONL export is the golden-trace substrate: one compact JSON object
+per line — a ``meta`` header, then spans and events merged in sequence
+order, then the final metrics registry flattened sample by sample. Keys
+are sorted and floats go through ``json``'s ``repr``-based formatting,
+so identical runs serialise byte-identically. Host times never appear.
+
+The Chrome export produces the ``chrome://tracing`` / Perfetto JSON
+event format: complete (``"X"``) events for spans with simulated time
+mapped to microseconds, instant (``"i"``) events for trace events, and
+metadata (``"M"``) events naming one thread row per instance.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator
+
+from repro.obs.trace import TraceRecorder
+
+__all__ = ["jsonl_lines", "to_jsonl", "to_chrome_trace"]
+
+#: Bumped whenever the JSONL schema changes; golden digests pin it.
+FORMAT_VERSION = 1
+
+
+def _dump(record: dict[str, object]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def jsonl_lines(
+    recorder: TraceRecorder, meta: dict[str, object] | None = None
+) -> Iterator[str]:
+    """Yield the trace's JSONL lines (no trailing newlines)."""
+    if recorder.open_spans:
+        raise ValueError(f"{recorder.open_spans} span(s) still open")
+    header: dict[str, object] = {"type": "meta", "format": FORMAT_VERSION}
+    if meta:
+        header.update(meta)
+    yield _dump(header)
+
+    records: list[tuple[int, dict[str, object]]] = []
+    for span in recorder.spans:
+        records.append(
+            (
+                span.seq,
+                {
+                    "type": "span",
+                    "id": span.span_id,
+                    "parent": span.parent_id,
+                    "seq": span.seq,
+                    "end_seq": span.end_seq,
+                    "name": span.name,
+                    "instance": span.instance,
+                    "start_s": span.start_sim_s,
+                    "end_s": span.end_sim_s,
+                    "attrs": _clean_attrs(span.attrs),
+                },
+            )
+        )
+    for ev in recorder.events:
+        records.append(
+            (
+                ev.seq,
+                {
+                    "type": "event",
+                    "seq": ev.seq,
+                    "name": ev.name,
+                    "instance": ev.instance,
+                    "time_s": ev.time_s,
+                    "attrs": _clean_attrs(ev.attrs),
+                },
+            )
+        )
+    records.sort(key=lambda pair: pair[0])
+    for _, record in records:
+        yield _dump(record)
+
+    for sample in recorder.metrics.samples():
+        yield _dump(
+            {
+                "type": "metric",
+                "name": sample.name,
+                "labels": dict(sample.labels),
+                "value": sample.value,
+            }
+        )
+
+
+def _clean_attrs(attrs: dict[str, object]) -> dict[str, object]:
+    """Attributes coerced to JSON-stable primitives."""
+    out: dict[str, object] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            out[key] = value
+        elif isinstance(value, (tuple, list)):
+            out[key] = [str(v) for v in value]
+        else:
+            out[key] = str(value)
+    return out
+
+
+def to_jsonl(
+    recorder: TraceRecorder, meta: dict[str, object] | None = None
+) -> str:
+    """The whole trace as one JSONL string (trailing newline included)."""
+    return "\n".join(jsonl_lines(recorder, meta)) + "\n"
+
+
+def to_chrome_trace(
+    recorder: TraceRecorder, meta: dict[str, object] | None = None
+) -> str:
+    """The trace in Chrome trace-event JSON (open in Perfetto).
+
+    Simulated seconds map to trace microseconds; each instance gets its
+    own thread row (tid), landscape-level spans land on tid 0.
+    """
+    if recorder.open_spans:
+        raise ValueError(f"{recorder.open_spans} span(s) still open")
+    instances = sorted(
+        {s.instance for s in recorder.spans if s.instance}
+        | {e.instance for e in recorder.events if e.instance}
+    )
+    tids = {instance: i + 1 for i, instance in enumerate(instances)}
+    events: list[dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "thread_name",
+            "args": {"name": "landscape"},
+        }
+    ]
+    for instance in instances:
+        events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": tids[instance],
+                "name": "thread_name",
+                "args": {"name": instance},
+            }
+        )
+    for span in recorder.spans:
+        events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": tids.get(span.instance, 0),
+                "name": span.name,
+                "ts": span.start_sim_s * 1e6,
+                "dur": span.duration_s * 1e6,
+                "args": _clean_attrs(span.attrs),
+            }
+        )
+    for ev in recorder.events:
+        events.append(
+            {
+                "ph": "i",
+                "pid": 0,
+                "tid": tids.get(ev.instance, 0),
+                "name": ev.name,
+                "ts": ev.time_s * 1e6,
+                "s": "t",
+                "args": _clean_attrs(ev.attrs),
+            }
+        )
+    payload: dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if meta:
+        payload["metadata"] = meta
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"

@@ -1,0 +1,94 @@
+"""Span profiling: self/cumulative attribution over a finished trace.
+
+Aggregates a :class:`~repro.obs.trace.TraceRecorder`'s span tree by span
+name: call count, cumulative and *self* simulated time (cumulative minus
+the cumulative time of direct children), and — when the recorder ran
+with ``host_time=True`` — the same attribution over host seconds. The
+rendered table is deterministic whenever host times are absent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.trace import TraceRecorder
+
+__all__ = ["ProfileRow", "profile", "render_profile"]
+
+
+@dataclass(slots=True)
+class ProfileRow:
+    """Aggregated profile for one span name."""
+
+    name: str
+    count: int
+    sim_cum_s: float
+    sim_self_s: float
+    host_cum_s: float | None = None
+    host_self_s: float | None = None
+
+
+def profile(recorder: TraceRecorder) -> list[ProfileRow]:
+    """Per-span-name attribution rows, sorted by cumulative sim time."""
+    children_sim: dict[int, float] = {}
+    children_host: dict[int, float] = {}
+    for span in recorder.spans:
+        if span.parent_id is not None:
+            children_sim[span.parent_id] = (
+                children_sim.get(span.parent_id, 0.0) + span.duration_s
+            )
+            if span.host_s is not None:
+                children_host[span.parent_id] = (
+                    children_host.get(span.parent_id, 0.0) + span.host_s
+                )
+
+    rows: dict[str, ProfileRow] = {}
+    any_host = False
+    for span in recorder.spans:
+        row = rows.get(span.name)
+        if row is None:
+            row = ProfileRow(span.name, 0, 0.0, 0.0)
+            rows[span.name] = row
+        row.count += 1
+        row.sim_cum_s += span.duration_s
+        # Self time floors at zero: a child with a pinned modelled
+        # duration (e.g. a 110 s GPR retrain inside a 300 s window) can
+        # legitimately exceed what its parent has left.
+        row.sim_self_s += max(
+            0.0, span.duration_s - children_sim.get(span.span_id, 0.0)
+        )
+        if span.host_s is not None:
+            any_host = True
+            row.host_cum_s = (row.host_cum_s or 0.0) + span.host_s
+            row.host_self_s = (row.host_self_s or 0.0) + max(
+                0.0, span.host_s - children_host.get(span.span_id, 0.0)
+            )
+    ordered = sorted(
+        rows.values(), key=lambda r: (-r.sim_cum_s, r.name)
+    )
+    if not any_host:
+        for row in ordered:
+            row.host_cum_s = None
+            row.host_self_s = None
+    return ordered
+
+
+def render_profile(rows: list[ProfileRow]) -> str:
+    """Fixed-format text table (host columns only when measured)."""
+    host = any(r.host_cum_s is not None for r in rows)
+    header = f"{'span':<28s} {'count':>7s} {'sim_cum_s':>12s} {'sim_self_s':>12s}"
+    if host:
+        header += f" {'host_cum_s':>12s} {'host_self_s':>12s}"
+    lines = [header]
+    for row in rows:
+        line = (
+            f"{row.name:<28s} {row.count:>7d} "
+            f"{row.sim_cum_s:>12.1f} {row.sim_self_s:>12.1f}"
+        )
+        if host:
+            line += (
+                f" {row.host_cum_s or 0.0:>12.4f}"
+                f" {row.host_self_s or 0.0:>12.4f}"
+            )
+        lines.append(line)
+    return "\n".join(lines) + "\n"

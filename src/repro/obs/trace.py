@@ -1,0 +1,201 @@
+"""The live trace recorder: deterministic spans, events and metrics.
+
+Span and event identity is derived from a per-recorder counter — never
+wall clock, never ``id()`` — so two identical seeded runs produce
+byte-identical traces. Simulated time is *told* to the recorder (the
+landscape step loop calls :meth:`TraceRecorder.advance` once per window);
+spans either close at the clock position on exit or carry an explicit
+modelled duration (a tuner's recommendation cost, a DFA backoff budget).
+
+Host-time profiling (``host_time=True``) additionally stamps each span
+with ``time.perf_counter`` deltas for self/cumulative attribution. Host
+times are intentionally **excluded** from the deterministic exports
+(:mod:`repro.obs.export`); they only feed the profile report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from types import TracebackType
+
+from repro.common.recording import Recorder, Span
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["TraceEvent", "TraceSpan", "TraceRecorder"]
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One instantaneous structured event."""
+
+    seq: int
+    time_s: float
+    name: str
+    instance: str = ""
+    attrs: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class TraceSpan(Span):
+    """One completed (or open) span in the trace tree."""
+
+    span_id: int
+    parent_id: int | None
+    seq: int
+    name: str
+    instance: str = ""
+    start_sim_s: float = 0.0
+    end_sim_s: float = 0.0
+    #: Sequence position at close — stack discipline guarantees a span's
+    #: (seq, end_seq) interval strictly contains every child's.
+    end_seq: int = 0
+    attrs: dict[str, object] = field(default_factory=dict)
+    #: Pinned simulated duration (None: close at the clock on exit).
+    pinned_duration_s: float | None = None
+    #: Host-time cost of the span body (profiling runs only).
+    host_s: float | None = None
+    _recorder: "TraceRecorder | None" = None
+    _host_t0: float = 0.0
+
+    def set(self, **attrs: object) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "TraceSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        if self._recorder is not None:
+            if exc_type is not None:
+                self.attrs.setdefault("error", exc_type.__name__)
+            self._recorder._close(self)
+        return None
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_sim_s - self.start_sim_s
+
+
+class TraceRecorder(Recorder):
+    """Recorder that keeps everything: spans, events, metrics.
+
+    Parameters
+    ----------
+    host_time:
+        Stamp spans with ``perf_counter`` deltas for host-time profiling.
+        Off by default — host times are non-deterministic by nature and
+        never appear in the exported JSONL either way.
+    metrics:
+        Registry to record counters/gauges/histograms into (a fresh
+        :class:`~repro.obs.metrics.MetricsRegistry` by default).
+    """
+
+    def __init__(
+        self,
+        host_time: bool = False,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.now_s = 0.0
+        self.host_time = host_time
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans: list[TraceSpan] = []  # every opened span, open order
+        self.events: list[TraceEvent] = []
+        self._next_span_id = 1
+        self._next_seq = 1
+        self._stack: list[TraceSpan] = []
+
+    # -- clock -------------------------------------------------------------------
+
+    def advance(self, now_s: float) -> None:
+        if now_s < self.now_s:
+            raise ValueError(
+                f"simulated time went backwards: {now_s} < {self.now_s}"
+            )
+        self.now_s = now_s
+
+    def _seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    # -- spans -------------------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        *,
+        instance: str = "",
+        duration_s: float | None = None,
+        **attrs: object,
+    ) -> TraceSpan:
+        if duration_s is not None and duration_s < 0:
+            raise ValueError("duration_s must be >= 0")
+        parent = self._stack[-1] if self._stack else None
+        span = TraceSpan(
+            span_id=self._next_span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            seq=self._seq(),
+            name=name,
+            instance=instance or (parent.instance if parent is not None else ""),
+            start_sim_s=self.now_s,
+            end_sim_s=self.now_s,
+            attrs=dict(attrs),
+            pinned_duration_s=duration_s,
+            _recorder=self,
+        )
+        if self.host_time:
+            span._host_t0 = time.perf_counter()
+        self._next_span_id += 1
+        self._stack.append(span)
+        self.spans.append(span)
+        return span
+
+    def _close(self, span: TraceSpan) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} closed out of stack order"
+            )
+        self._stack.pop()
+        if self.host_time:
+            span.host_s = time.perf_counter() - span._host_t0
+        if span.pinned_duration_s is not None:
+            span.end_sim_s = span.start_sim_s + span.pinned_duration_s
+        else:
+            span.end_sim_s = max(span.start_sim_s, self.now_s)
+        span.end_seq = self._seq()
+        span._recorder = None
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    # -- events ------------------------------------------------------------------
+
+    def event(self, name: str, *, instance: str = "", **attrs: object) -> None:
+        parent = self._stack[-1] if self._stack else None
+        self.events.append(
+            TraceEvent(
+                seq=self._seq(),
+                time_s=self.now_s,
+                name=name,
+                instance=instance
+                or (parent.instance if parent is not None else ""),
+                attrs=dict(attrs),
+            )
+        )
+
+    # -- metrics (forwarded to the registry) ---------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: str) -> None:
+        self.metrics.inc(name, value, **labels)
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        self.metrics.set_gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        self.metrics.observe(name, value, **labels)

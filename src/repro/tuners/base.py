@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.common.recording import NULL_RECORDER, Recorder
 from repro.dbsim.config import KnobConfiguration
 from repro.dbsim.knobs import KnobCatalog
 from repro.dbsim.metrics import MetricsDelta
@@ -211,6 +212,14 @@ class Tuner(abc.ABC):
     """A tuner instance: absorbs samples, answers tuning requests."""
 
     name: str = "tuner"
+    #: Observability seam: the landscape binds its recorder here so tuner
+    #: implementations can emit trace events; the default no-op recorder
+    #: keeps unbound tuners byte-identical.
+    recorder: Recorder = NULL_RECORDER
+
+    def bind_recorder(self, recorder: Recorder) -> None:
+        """Attach the landscape's recorder (wrappers forward to inners)."""
+        self.recorder = recorder
 
     @abc.abstractmethod
     def observe(self, sample: TrainingSample) -> None:

@@ -126,6 +126,13 @@ class OtterTuneTuner(Tuner):
             )
         candidates = self._candidates(x, y)
         scores = gpr.ucb(candidates, kappa=self.kappa)
+        self.recorder.event(
+            "tuner.surrogate",
+            instance=request.instance_id,
+            source=self.name,
+            train_samples=len(y),
+            candidates=len(candidates),
+        )
         best = int(np.argmax(scores))
         config = vector_to_config(candidates[best], self.catalog)
         config = self._repair(boost_throttled_knobs(config, request))

@@ -1,0 +1,75 @@
+"""Golden-trace snapshot tests: the observability layer's regression net.
+
+Each case runs a seeded experiment under the trace recorder and pins the
+SHA-256 digest of the canonical JSONL export, plus the first lines of
+the trace as a committed, reviewable head file (the digest says *that*
+the trace changed; the head diff usually says *what* changed).
+
+Update workflow — after an intentional change to instrumentation or the
+export schema::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/golden -q
+
+then commit the regenerated files under ``tests/golden/`` and call out
+the trace change in the PR.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import trace_run
+
+GOLDEN_DIR = Path(__file__).parent
+
+#: Lines of each trace committed verbatim for reviewable diffs.
+HEAD_LINES = 30
+
+_UPDATE = os.environ.get("REPRO_UPDATE_GOLDEN") == "1"
+
+
+def _check_golden(name: str, **kwargs) -> None:
+    artifacts = trace_run.run(**kwargs)
+    digest_path = GOLDEN_DIR / f"trace_{name}.sha256"
+    head_path = GOLDEN_DIR / f"trace_{name}.head.jsonl"
+    head = (
+        "\n".join(artifacts.jsonl.splitlines()[:HEAD_LINES]) + "\n"
+    )
+    if _UPDATE:
+        digest_path.write_text(artifacts.digest + "\n")
+        head_path.write_text(head)
+        pytest.skip(f"REPRO_UPDATE_GOLDEN=1: regenerated golden {name}")
+    assert digest_path.exists(), (
+        f"missing golden digest {digest_path.name}; run with "
+        "REPRO_UPDATE_GOLDEN=1 to create it"
+    )
+    expected_head = head_path.read_text()
+    assert head == expected_head, (
+        f"golden trace head for {name!r} changed — inspect the diff above; "
+        "if intentional, regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+    expected = digest_path.read_text().strip()
+    assert artifacts.digest == expected, (
+        f"golden trace digest for {name!r} changed "
+        f"({artifacts.digest} != {expected}) but the committed head "
+        "matches — the divergence is past line "
+        f"{HEAD_LINES}; regenerate with REPRO_UPDATE_GOLDEN=1 if intentional"
+    )
+
+
+def test_golden_chaos_quick_trace():
+    """The quick chaos profile's trace is byte-stable across commits."""
+    _check_golden("chaos", experiment="chaos", seed=0)
+
+
+def test_golden_fleet_trace():
+    """A small fig09-style fleet run's trace is byte-stable."""
+    _check_golden(
+        "fleet",
+        experiment="fleet",
+        seed=0,
+        fleet_size=3,
+        hours=1.0,
+        warmup_hours=0.5,
+    )

@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) on the trace recorder's invariants.
+
+Hypothesis drives random but deterministic *programs* against a
+:class:`~repro.obs.trace.TraceRecorder` — interleavings of clock
+advances, span opens/closes and events — and checks the structural
+invariants the golden tests rely on: span timing, id uniqueness,
+sequence monotonicity, stack containment, instance inheritance and
+byte-identical replay.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.export import to_jsonl
+from repro.obs.trace import TraceRecorder
+
+#: One program step: (op, payload).
+_ops = st.one_of(
+    st.tuples(
+        st.just("advance"),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    ),
+    st.tuples(st.just("open"), st.sampled_from("abcd")),
+    st.tuples(st.just("open_timed"), st.sampled_from("abcd")),
+    st.tuples(st.just("close"), st.just("")),
+    st.tuples(st.just("event"), st.sampled_from("xyz")),
+)
+
+programs = st.lists(_ops, min_size=0, max_size=60)
+
+#: Instance names drawn when opening instanced spans.
+instances = st.sampled_from(["", "svc-0000", "svc-0001"])
+
+
+def _execute(program) -> TraceRecorder:
+    """Run *program*; unconditionally well-formed (closes all spans)."""
+    recorder = TraceRecorder()
+    for op, payload in program:
+        if op == "advance":
+            recorder.advance(recorder.now_s + payload)
+        elif op == "open":
+            recorder.span(f"span.{payload}", instance="svc-0000")
+        elif op == "open_timed":
+            recorder.span(f"timed.{payload}", duration_s=7.5)
+        elif op == "close":
+            if recorder.open_spans:
+                recorder._stack[-1].__exit__(None, None, None)
+        elif op == "event":
+            recorder.event(f"event.{payload}", flag=True)
+    while recorder.open_spans:
+        recorder._stack[-1].__exit__(None, None, None)
+    return recorder
+
+
+class TestSpanTiming:
+    @given(programs)
+    @settings(max_examples=50, deadline=None)
+    def test_end_never_before_start(self, program):
+        recorder = _execute(program)
+        for span in recorder.spans:
+            assert span.end_sim_s >= span.start_sim_s
+
+    @given(programs)
+    @settings(max_examples=50, deadline=None)
+    def test_untimed_spans_close_at_or_after_the_clock_position(self, program):
+        recorder = _execute(program)
+        for span in recorder.spans:
+            if span.pinned_duration_s is None:
+                assert span.end_sim_s <= recorder.now_s
+            else:
+                # start + pinned - start need not be exactly pinned (IEEE
+                # rounding); it is within one ulp of the modelled duration.
+                assert abs(span.duration_s - span.pinned_duration_s) < 1e-9
+
+
+class TestIdentityAndOrdering:
+    @given(programs)
+    @settings(max_examples=50, deadline=None)
+    def test_span_ids_unique(self, program):
+        recorder = _execute(program)
+        ids = [s.span_id for s in recorder.spans]
+        assert len(ids) == len(set(ids))
+
+    @given(programs)
+    @settings(max_examples=50, deadline=None)
+    def test_event_seq_strictly_increasing_and_time_monotone(self, program):
+        recorder = _execute(program)
+        events = recorder.events
+        for earlier, later in zip(events, events[1:]):
+            assert earlier.seq < later.seq
+            assert earlier.time_s <= later.time_s
+
+    @given(programs)
+    @settings(max_examples=50, deadline=None)
+    def test_parent_interval_contains_child(self, program):
+        recorder = _execute(program)
+        by_id = {s.span_id: s for s in recorder.spans}
+        for span in recorder.spans:
+            assert span.seq < span.end_seq
+            if span.parent_id is None:
+                continue
+            parent = by_id[span.parent_id]
+            assert parent.seq < span.seq
+            assert span.end_seq < parent.end_seq
+
+
+class TestInstanceInheritance:
+    def test_children_inherit_the_enclosing_instance(self):
+        recorder = TraceRecorder()
+        with recorder.span("outer", instance="svc-0007"):
+            inner = recorder.span("inner")
+            recorder.event("tick")
+            inner.__exit__(None, None, None)
+        assert recorder.spans[1].instance == "svc-0007"
+        assert recorder.events[0].instance == "svc-0007"
+
+    def test_explicit_instance_wins_over_inheritance(self):
+        recorder = TraceRecorder()
+        with recorder.span("outer", instance="svc-0007"):
+            with recorder.span("inner", instance="svc-0008"):
+                pass
+        assert recorder.spans[1].instance == "svc-0008"
+
+
+class TestReplayStability:
+    @given(programs)
+    @settings(max_examples=30, deadline=None)
+    def test_identical_programs_export_byte_identically(self, program):
+        first = to_jsonl(_execute(program))
+        second = to_jsonl(_execute(program))
+        assert first == second
+
+    @given(programs)
+    @settings(max_examples=30, deadline=None)
+    def test_span_ids_stable_across_identical_runs(self, program):
+        first = _execute(program)
+        second = _execute(program)
+        assert [s.span_id for s in first.spans] == [
+            s.span_id for s in second.spans
+        ]
+        assert [s.seq for s in first.spans] == [s.seq for s in second.spans]

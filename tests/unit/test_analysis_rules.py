@@ -28,7 +28,9 @@ def rules_hit(findings) -> set[str]:
 class TestRegistry:
     def test_all_builtin_rules_registered(self):
         ids = [cls.id for cls in all_rules()]
-        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
+        assert ids == [
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+        ]
 
     def test_get_rule_unknown_raises(self):
         with pytest.raises(KeyError, match="R999"):
@@ -591,6 +593,97 @@ class TestR006BoundedControlPlane:
                     return None
             """,
             relpath="repro/core/tde/mod.py",
+        )
+        assert findings == []
+
+
+class TestR007RecorderMustThread:
+    def test_bad_unthreaded_construction_in_scope(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from repro.core.apply.reconciler import Reconciler
+
+            def build(orchestrator, recorder):
+                return Reconciler(orchestrator)
+            """,
+            relpath="repro/core/mod.py",
+            select=["R007"],
+        )
+        assert rules_hit(findings) == {"R007"}
+        assert "Reconciler" in findings[0].message
+
+    def test_bad_method_of_recorder_carrying_class(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from repro.core.apply.orchestrator import ServiceOrchestrator
+
+            class Facade:
+                def __init__(self, recorder=None):
+                    self.recorder = recorder
+
+                def wire(self):
+                    return ServiceOrchestrator()
+            """,
+            relpath="repro/core/mod.py",
+            select=["R007"],
+        )
+        assert rules_hit(findings) == {"R007"}
+
+    def test_good_keyword_threading(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from repro.core.apply.reconciler import Reconciler
+
+            def build(orchestrator, recorder):
+                return Reconciler(orchestrator, recorder=recorder)
+            """,
+            relpath="repro/core/mod.py",
+            select=["R007"],
+        )
+        assert findings == []
+
+    def test_good_no_recorder_in_scope(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from repro.core.apply.reconciler import Reconciler
+
+            def build(orchestrator):
+                return Reconciler(orchestrator)
+            """,
+            relpath="repro/core/mod.py",
+            select=["R007"],
+        )
+        assert findings == []
+
+    def test_good_outside_core_not_checked(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from repro.core.apply.reconciler import Reconciler
+
+            def build(orchestrator, recorder):
+                return Reconciler(orchestrator)
+            """,
+            relpath="repro/experiments/mod.py",
+            select=["R007"],
+        )
+        assert findings == []
+
+    def test_good_kwargs_passthrough(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from repro.core.apply.reconciler import Reconciler
+
+            def build(orchestrator, recorder, **kwargs):
+                return Reconciler(orchestrator, **kwargs)
+            """,
+            relpath="repro/core/mod.py",
+            select=["R007"],
         )
         assert findings == []
 

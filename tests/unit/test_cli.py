@@ -35,6 +35,48 @@ class TestCLI:
         assert main(args) == 0
         assert capsys.readouterr().out == first
 
+    def test_trace_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "chaos" in out and "fleet" in out and "--profile" in out
+
+    def test_trace_chaos_writes_deterministic_artifacts(self, capsys, tmp_path):
+        out_base = tmp_path / "trace"
+        args = [
+            "trace",
+            "chaos",
+            "--seed",
+            "3",
+            "--out",
+            str(out_base),
+            "--profile",
+            "--metrics",
+        ]
+        assert main(args) == 0
+        first_out = capsys.readouterr().out
+        assert "trace: experiment=chaos seed=3" in first_out
+        assert "jsonl sha256:" in first_out
+        assert "sim_cum_s" in first_out  # --profile table
+        assert "# TYPE" in first_out  # --metrics exposition
+        jsonl = (tmp_path / "trace.jsonl").read_text()
+        chrome = (tmp_path / "trace.chrome.json").read_text()
+        assert jsonl.startswith('{"')
+        assert '"traceEvents"' in chrome
+        # Same seed must reproduce both artifacts byte for byte.
+        rerun = tmp_path / "rerun"
+        args[5] = str(rerun / "trace")
+        rerun.mkdir()
+        assert main(args) == 0
+        capsys.readouterr()
+        assert (rerun / "trace.jsonl").read_text() == jsonl
+        assert (rerun / "trace.chrome.json").read_text() == chrome
+
+    def test_trace_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "fig99"])
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "fig99"])
