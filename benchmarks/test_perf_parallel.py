@@ -1,0 +1,77 @@
+"""Bench: speedup of the sharded fleet executor on fig09.
+
+Runs the fig09 fleet-tuning loop serially (``workers=1``, the in-process
+sequential backend) and sharded across 4 worker processes, asserts the
+results are identical, and reports wall time and speedup. The full
+profile runs the paper-scale 80-member fleet over 24 simulated hours —
+the workload the executor exists for; ``PERF_QUICK=1`` (CI) shrinks it
+to a 12-member fleet over 2 hours with the same shape.
+
+The >= 2x speedup assertion only applies where it can physically hold:
+the full profile on a machine granting this process at least 4 usable
+cores (the CI perf runners). Parity is asserted everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.experiments import fig09_requests_per_minute as fig09
+
+QUICK = os.environ.get("PERF_QUICK") == "1"
+FLEET_SIZE = 12 if QUICK else 80
+HOURS = 2.0 if QUICK else 24.0
+WARMUP_HOURS = 0.5 if QUICK else 2.0
+WORKERS = 4
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _run(workers: int) -> fig09.Fig09Run:
+    return fig09.run(
+        fleet_size=FLEET_SIZE,
+        hours=HOURS,
+        warmup_hours=WARMUP_HOURS,
+        seed=0,
+        workers=workers,
+    )
+
+
+def test_perf_parallel_fleet_speedup(benchmark, emit):
+    start = time.perf_counter()
+    serial = _run(workers=1)
+    serial_s = time.perf_counter() - start
+
+    def work() -> fig09.Fig09Run:
+        return _run(workers=WORKERS)
+
+    start = time.perf_counter()
+    parallel = run_once(benchmark, work)
+    parallel_s = time.perf_counter() - start
+
+    assert parallel == serial, "parallel backend diverged from serial"
+
+    cores = _usable_cores()
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    emit(
+        "perf_parallel",
+        f"scenario: fleet={FLEET_SIZE} hours={HOURS:g} "
+        f"workers={WORKERS} (quick={QUICK}, usable_cores={cores})\n"
+        f"serial wall:   {serial_s:.2f} s\n"
+        f"parallel wall: {parallel_s:.2f} s\n"
+        f"speedup: {speedup:.2f}x\n"
+        f"tde_total: {serial.tde_total} (identical across backends)",
+    )
+    assert serial_s > 0.0 and parallel_s > 0.0
+    if not QUICK and cores >= WORKERS:
+        # Four shards of a compute-bound fleet on >= 4 cores: anything
+        # under 2x means the executor is serialising somewhere.
+        assert speedup >= 2.0

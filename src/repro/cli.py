@@ -115,7 +115,8 @@ def _run_fig08(args: argparse.Namespace) -> None:
 
 def _run_fig09(args: argparse.Namespace) -> None:
     run = fig09_requests_per_minute.run(
-        fleet_size=args.fleet_size, hours=args.hours, seed=args.seed
+        fleet_size=args.fleet_size, hours=args.hours, seed=args.seed,
+        workers=args.workers,
     )
     print(
         format_table(
@@ -134,7 +135,9 @@ def _run_fig09(args: argparse.Namespace) -> None:
 
 
 def _run_fig10(args: argparse.Namespace) -> None:
-    panels = fig10_11_throttles.run(flavor=args.flavor, seed=args.seed)
+    panels = fig10_11_throttles.run(
+        flavor=args.flavor, seed=args.seed, workers=args.workers
+    )
     rows = [
         (panel, r.workload, f"{r.memory:.2f}", f"{r.background_writer:.2f}",
          f"{r.async_planner:.2f}")
@@ -246,6 +249,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--adulteration", type=float, default=0.8)
     run.add_argument("--flavor", choices=("postgres", "mysql"), default="postgres")
     run.add_argument("--tuner", choices=("ottertune", "cdbtune"), default="ottertune")
+    run.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="parallel worker processes (fig09/fig10 only; output is "
+        "byte-identical for any worker count)",
+    )
 
     demo = sub.add_parser("demo", help="run an example scenario")
     demo.add_argument("name", choices=_DEMOS)
@@ -262,6 +270,11 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--quick", action="store_true",
         help="small fleet / short horizon (CI determinism check)",
+    )
+    chaos.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="parallel worker processes (the two landscapes run "
+        "concurrently; the report is byte-identical either way)",
     )
 
     trace = sub.add_parser(
@@ -297,6 +310,11 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--warmup-hours", type=float, default=0.5, dest="warmup_hours",
         help="fleet experiment only: warm-up hours before counting",
+    )
+    trace.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="parallel worker processes; the exported trace is "
+        "byte-identical for any worker count",
     )
 
     lint = sub.add_parser(
@@ -368,6 +386,7 @@ def _run_trace(args: argparse.Namespace) -> int:
         fleet_size=args.fleet_size,
         hours=args.hours,
         warmup_hours=args.warmup_hours,
+        workers=args.workers,
     )
     jsonl_path = Path(f"{args.out}.jsonl")
     chrome_path = Path(f"{args.out}.chrome.json")
@@ -423,6 +442,7 @@ def _dispatch(argv: Sequence[str] | None) -> int:
             windows=args.windows,
             seed=args.seed,
             quick=args.quick,
+            workers=args.workers,
         )
         print(report.render(), end="")
         return 0

@@ -1,6 +1,12 @@
 """Cloud substrate: VM types, provisioner, monitoring agent, live fleet."""
 
-from repro.cloud.fleet import PAPER_PLAN_MIX, FleetMember, LiveFleet
+from repro.cloud.fleet import (
+    PAPER_PLAN_MIX,
+    FleetMember,
+    FleetSpec,
+    LiveFleet,
+    build_member,
+)
 from repro.cloud.metrics_export import render_agent_metrics, render_counters
 from repro.cloud.monitoring import MonitoringAgent
 from repro.cloud.provisioner import Credentials, Provisioner, ServiceDeployment
@@ -10,6 +16,8 @@ __all__ = [
     "Credentials",
     "DiskKind",
     "FleetMember",
+    "FleetSpec",
+    "build_member",
     "HDD",
     "LiveFleet",
     "MonitoringAgent",

@@ -5,6 +5,14 @@ Provisions *n* database services across the paper's VM plan mix
 production-style diurnal workload with per-instance scale and phase
 jitter, and steps simulated time one monitoring window at a time across
 the whole fleet. Figs. 9, 12 and 13 run on top of this.
+
+Every member derives its randomness from a **keyed substream** of the
+fleet's entropy root (:func:`~repro.common.rng.substream` keyed by the
+member's fleet index), never from draws shared across members. That is
+what lets the sharded executor (:mod:`repro.parallel`) rebuild member
+*i* in any worker process — via :func:`build_member` — with exactly the
+state a serial :class:`LiveFleet` would have given it, making fleet
+results invariant to shard and worker count.
 """
 
 from __future__ import annotations
@@ -15,11 +23,11 @@ import numpy as np
 
 from repro.cloud.monitoring import MonitoringAgent
 from repro.cloud.provisioner import Provisioner, ServiceDeployment
-from repro.common.rng import derive_rng, make_rng
+from repro.common.rng import stream_root, substream
 from repro.dbsim.engine import ExecutionResult
 from repro.workloads.production import ProductionWorkload
 
-__all__ = ["FleetMember", "LiveFleet", "PAPER_PLAN_MIX"]
+__all__ = ["FleetMember", "FleetSpec", "LiveFleet", "PAPER_PLAN_MIX", "build_member"]
 
 #: The §5 deployment plans, cycled over when provisioning the fleet.
 PAPER_PLAN_MIX: tuple[str, ...] = (
@@ -45,6 +53,66 @@ class FleetMember:
         return self.deployment.instance_id
 
 
+@dataclass(frozen=True)
+class FleetSpec:
+    """Everything needed to (re)build any fleet member, picklable.
+
+    ``build_member(spec, i)`` is a pure function of this spec, so a shard
+    worker handed the spec plus its member indices reconstructs exactly
+    the members a serial build would have produced.
+    """
+
+    size: int
+    flavor: str = "postgres"
+    mean_rps_range: tuple[float, float] = (80.0, 600.0)
+    root: int = 0
+    sample_size: int = 200
+    monitoring_retention_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+
+
+def build_member(spec: FleetSpec, index: int) -> FleetMember:
+    """Build fleet member *index* from its keyed substreams.
+
+    Draw order within the member's stream is part of the determinism
+    contract — reordering the draws below changes every seeded fleet.
+    """
+    if not 0 <= index < spec.size:
+        raise ValueError(f"member index {index} outside fleet of {spec.size}")
+    rng = substream(spec.root, "member", index)
+    data_size_gb = float(rng.uniform(8.0, 60.0))
+    mean_rps = float(rng.uniform(*spec.mean_rps_range))
+    # Tenants in nearby timezones: jitter phases by ±1 h.
+    phase_offset_s = float(rng.uniform(-3600.0, 3600.0))
+    provisioner = Provisioner(
+        seed=substream(spec.root, "provision", index), start_index=index
+    )
+    deployment = provisioner.provision(
+        plan=PAPER_PLAN_MIX[index % len(PAPER_PLAN_MIX)],
+        flavor=spec.flavor,
+        data_size_gb=data_size_gb,
+        replicas=1,
+    )
+    workload = ProductionWorkload(
+        mean_rps=mean_rps,
+        data_size_gb=deployment.service.master.data_size_gb,
+        seed=substream(spec.root, "workload", index),
+        sample_size=spec.sample_size,
+    )
+    return FleetMember(
+        deployment=deployment,
+        workload=workload,
+        monitoring=MonitoringAgent(
+            deployment.instance_id,
+            retention_s=spec.monitoring_retention_s,
+        ),
+        phase_offset_s=phase_offset_s,
+    )
+
+
 class LiveFleet:
     """*n* production databases stepped in lockstep windows.
 
@@ -58,7 +126,8 @@ class LiveFleet:
         Per-member daily-average rate is drawn uniformly from this range —
         production tenants differ in size.
     seed:
-        Master seed; members derive their own streams.
+        Master seed; members derive keyed substreams from it (see
+        :func:`build_member`).
     sample_size:
         Per-window query-log sample size of every member's workload (the
         number of concrete queries materialised for the TDE to read).
@@ -77,38 +146,18 @@ class LiveFleet:
         sample_size: int = 200,
         monitoring_retention_s: float | None = None,
     ) -> None:
-        if size <= 0:
-            raise ValueError("size must be positive")
-        self._rng = make_rng(seed)
-        self.provisioner = Provisioner(seed=derive_rng(self._rng, "provisioner"))
-        self.members: list[FleetMember] = []
+        self.spec = FleetSpec(
+            size=size,
+            flavor=flavor,
+            mean_rps_range=mean_rps_range,
+            root=stream_root(seed),
+            sample_size=sample_size,
+            monitoring_retention_s=monitoring_retention_s,
+        )
+        self.members: list[FleetMember] = [
+            build_member(self.spec, i) for i in range(size)
+        ]
         self.clock_s = 0.0
-        for i in range(size):
-            plan = PAPER_PLAN_MIX[i % len(PAPER_PLAN_MIX)]
-            deployment = self.provisioner.provision(
-                plan=plan,
-                flavor=flavor,
-                data_size_gb=float(self._rng.uniform(8.0, 60.0)),
-                replicas=1,
-            )
-            workload = ProductionWorkload(
-                mean_rps=float(self._rng.uniform(*mean_rps_range)),
-                data_size_gb=deployment.service.master.data_size_gb,
-                seed=derive_rng(self._rng, f"wl-{i}"),
-                sample_size=sample_size,
-            )
-            self.members.append(
-                FleetMember(
-                    deployment=deployment,
-                    workload=workload,
-                    monitoring=MonitoringAgent(
-                        deployment.instance_id,
-                        retention_s=monitoring_retention_s,
-                    ),
-                    # Tenants in nearby timezones: jitter phases by ±1 h.
-                    phase_offset_s=float(self._rng.uniform(-3600.0, 3600.0)),
-                )
-            )
 
     def __len__(self) -> int:
         return len(self.members)

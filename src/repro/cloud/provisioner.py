@@ -45,9 +45,18 @@ class ServiceDeployment:
 class Provisioner:
     """Spawns and tracks service deployments on VM plans."""
 
-    def __init__(self, seed: int | np.random.Generator | None = 0) -> None:
+    def __init__(
+        self,
+        seed: int | np.random.Generator | None = 0,
+        start_index: int = 0,
+    ) -> None:
+        """*start_index* offsets instance numbering (``svc-{index:04d}``)
+        so per-member provisioners in a sharded fleet hand out the same
+        globally-unique ids a single serial provisioner would."""
+        if start_index < 0:
+            raise ValueError("start_index must be >= 0")
         self._rng = make_rng(seed)
-        self._counter = itertools.count()
+        self._counter = itertools.count(start_index)
         self._deployments: dict[str, ServiceDeployment] = {}
 
     def provision(

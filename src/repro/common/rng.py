@@ -12,7 +12,7 @@ import zlib
 
 import numpy as np
 
-__all__ = ["make_rng", "derive_rng"]
+__all__ = ["make_rng", "derive_rng", "stream_root", "substream"]
 
 
 def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
@@ -38,3 +38,33 @@ def derive_rng(parent: np.random.Generator, label: str) -> np.random.Generator:
     base = int(parent.integers(0, 2**32))
     salt = zlib.crc32(label.encode("utf-8"))
     return np.random.default_rng((base << 32) ^ salt)
+
+
+def stream_root(seed: int | np.random.Generator | None = 0) -> int:
+    """Collapse *seed* to one integer entropy root for keyed substreams.
+
+    An integer seed is used as-is, so roots are stable across processes;
+    a generator contributes one draw (deterministic given its state);
+    ``None`` yields an OS-entropy root, matching :func:`make_rng`.
+    """
+    if isinstance(seed, int):
+        return seed
+    return int(make_rng(seed).integers(0, 2**63))
+
+
+def substream(root: int, *keys: int | str) -> np.random.Generator:
+    """Independent substream of *root* addressed by a key path.
+
+    Unlike :func:`derive_rng` — which advances the parent, making each
+    child a function of *derivation order* — a substream is a pure
+    function of ``(root, keys)`` via ``numpy``'s ``SeedSequence`` spawn
+    keys. Any process can therefore reconstruct any member's stream
+    without replaying the draws of the members before it, which is what
+    makes sharded fleet execution invariant to shard and worker count
+    (see :mod:`repro.parallel`).
+    """
+    spawn_key = tuple(
+        key if isinstance(key, int) else zlib.crc32(key.encode("utf-8"))
+        for key in keys
+    )
+    return np.random.default_rng(np.random.SeedSequence(root, spawn_key=spawn_key))

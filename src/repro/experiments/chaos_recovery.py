@@ -40,6 +40,8 @@ from repro.faults.injectors import (
     FaultyTuner,
 )
 from repro.faults.plan import FaultKind, FaultPlan
+from repro.obs.trace import TraceRecorder
+from repro.parallel import FleetExecutor
 from repro.tuners.ottertune import OtterTuneTuner
 from repro.workloads.tpcc import TPCCWorkload
 
@@ -299,6 +301,63 @@ def _run_landscape(
     return fleet_tps, degraded
 
 
+@dataclass(frozen=True)
+class _LandscapeTask:
+    """One landscape's build-and-run, picklable for :meth:`FleetExecutor.map`."""
+
+    seed: int
+    fleet_size: int
+    windows: int
+    window_s: float
+    offline_configs: int
+    plan: FaultPlan
+    enabled: bool
+    traced: bool = False
+    host_time: bool = False
+
+
+@dataclass
+class _LandscapeOutcome:
+    """What one landscape run hands back to the coordinator."""
+
+    fleet_tps: list[float]
+    degraded: int
+    delivered: dict[str, int]
+    breaker_trips: int
+    fallbacks_served: int
+    telemetry_gap_windows: int
+    recorder: TraceRecorder | None = None
+
+
+def _run_landscape_task(task: _LandscapeTask) -> _LandscapeOutcome:
+    """Build and run one landscape end to end (worker entry point)."""
+    rec = TraceRecorder(host_time=task.host_time) if task.traced else None
+    landscape = _build_landscape(
+        task.seed,
+        task.fleet_size,
+        task.window_s,
+        FaultInjector(task.plan, enabled=task.enabled),
+        task.offline_configs,
+        recorder=rec,
+    )
+    fleet_tps, degraded = _run_landscape(landscape, task.windows, task.window_s)
+    return _LandscapeOutcome(
+        fleet_tps=fleet_tps,
+        degraded=degraded,
+        delivered={
+            kind.value: landscape.injector.delivered(kind)
+            for kind in FaultKind
+            if landscape.injector.delivered(kind)
+        },
+        breaker_trips=landscape.service.director.breaker_trips(),
+        fallbacks_served=landscape.service.director.fallbacks_served,
+        telemetry_gap_windows=sum(
+            m.gap_windows for m in landscape.monitors.values()
+        ),
+        recorder=rec,
+    )
+
+
 def run(
     fleet_size: int = 3,
     windows: int = 28,
@@ -306,6 +365,8 @@ def run(
     seed: int = 0,
     quick: bool = False,
     recorder: Recorder | None = None,
+    workers: int = 1,
+    start_method: str | None = None,
 ) -> ChaosReport:
     """Run the chaos experiment; see the module docstring.
 
@@ -313,6 +374,10 @@ def run(
     still covers every fault kind and leaves a fault-free tail).
     *recorder* observes the **faulted** landscape only (the baseline
     landscape is the control — tracing it would double every span).
+    The two landscapes are fully independent, so ``workers >= 2`` runs
+    them concurrently; the faulted landscape records into a fragment
+    recorder that is absorbed into *recorder* afterwards, which yields
+    the same trace bytes as recording inline.
     """
     if quick:
         fleet_size = min(fleet_size, 2)
@@ -332,17 +397,28 @@ def run(
         end_window=end_window,
     )
 
-    baseline = _build_landscape(
-        seed, fleet_size, window_s,
-        FaultInjector(plan, enabled=False), offline_configs,
+    traced = isinstance(recorder, TraceRecorder)
+    executor = FleetExecutor(workers=workers, start_method=start_method)
+    base_out, fault_out = executor.map(
+        _run_landscape_task,
+        [
+            _LandscapeTask(
+                seed, fleet_size, windows, window_s, offline_configs, plan,
+                enabled=False,
+            ),
+            _LandscapeTask(
+                seed, fleet_size, windows, window_s, offline_configs, plan,
+                enabled=True,
+                traced=traced,
+                host_time=traced and recorder.host_time,  # type: ignore[union-attr]
+            ),
+        ],
     )
-    faulted = _build_landscape(
-        seed, fleet_size, window_s,
-        FaultInjector(plan, enabled=True), offline_configs,
-        recorder=recorder,
-    )
-    baseline_tps, _ = _run_landscape(baseline, windows, window_s)
-    faulted_tps, degraded = _run_landscape(faulted, windows, window_s)
+    if traced and fault_out.recorder is not None:
+        assert isinstance(recorder, TraceRecorder)
+        recorder.absorb(fault_out.recorder)
+    baseline_tps = base_out.fleet_tps
+    faulted_tps, degraded = fault_out.fleet_tps, fault_out.degraded
 
     points = []
     for w, (b_tps, f_tps) in enumerate(zip(baseline_tps, faulted_tps)):
@@ -374,16 +450,10 @@ def run(
         window_s=window_s,
         plan=plan,
         points=points,
-        delivered={
-            kind.value: faulted.injector.delivered(kind)
-            for kind in FaultKind
-            if faulted.injector.delivered(kind)
-        },
-        breaker_trips=faulted.service.director.breaker_trips(),
-        fallbacks_served=faulted.service.director.fallbacks_served,
-        telemetry_gap_windows=sum(
-            m.gap_windows for m in faulted.monitors.values()
-        ),
+        delivered=fault_out.delivered,
+        breaker_trips=fault_out.breaker_trips,
+        fallbacks_served=fault_out.fallbacks_served,
+        telemetry_gap_windows=fault_out.telemetry_gap_windows,
         degraded_tde_windows=degraded,
         recovery_window=recovery_window,
     )

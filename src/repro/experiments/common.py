@@ -9,12 +9,14 @@ reproduces that bootstrap; the figure modules build on it.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.common.rng import derive_rng, make_rng
 from repro.dbsim.engine import DatabaseCrashed, SimulatedDatabase
 from repro.dbsim.knobs import KnobCatalog
+from repro.parallel import FleetExecutor
 from repro.tuners.base import TrainingSample, vector_to_config
 from repro.tuners.repository import WorkloadRepository
 from repro.workloads.generator import WorkloadGenerator
@@ -66,18 +68,49 @@ def offline_session(
         )
 
 
+@dataclass(frozen=True)
+class _OfflineSessionTask:
+    """One workload's offline session, picklable for :meth:`FleetExecutor.map`."""
+
+    catalog: KnobCatalog
+    workload: WorkloadGenerator
+    n_configs: int
+    seed: int
+
+
+def _run_offline_session(task: _OfflineSessionTask) -> list[TrainingSample]:
+    """Run one session against a private repository; return its samples."""
+    repository = WorkloadRepository()
+    offline_session(
+        repository, task.workload, task.catalog, n_configs=task.n_configs,
+        seed=task.seed,
+    )
+    return list(repository.samples(task.workload.name))
+
+
 def offline_train(
     catalog: KnobCatalog,
     workloads: Sequence[WorkloadGenerator],
     n_configs: int = 20,
     seed: int = 0,
+    executor: FleetExecutor | None = None,
 ) -> WorkloadRepository:
-    """Bootstrap a repository with offline sessions over *workloads*."""
+    """Bootstrap a repository with offline sessions over *workloads*.
+
+    Sessions are independent (each sweeps its own database with its own
+    seed), so with an *executor* they fan out across workers; samples land
+    in the shared repository in canonical workload order either way, so
+    the repository is identical for any worker count.
+    """
+    executor = executor or FleetExecutor()
+    tasks = [
+        _OfflineSessionTask(catalog, workload, n_configs, seed + i)
+        for i, workload in enumerate(workloads)
+    ]
     repository = WorkloadRepository()
-    for i, workload in enumerate(workloads):
-        offline_session(
-            repository, workload, catalog, n_configs=n_configs, seed=seed + i
-        )
+    for samples in executor.map(_run_offline_session, tasks):
+        for sample in samples:
+            repository.add(sample)
     return repository
 
 

@@ -11,19 +11,39 @@ well below both on average, peaking when the workload pattern shifts
 The default arguments run the paper scale, ``fleet_size=80`` over 24 h;
 the bench harness passes a smaller fleet for runtime — the series shapes
 are unaffected because every member behaves independently.
+
+Execution model (:mod:`repro.parallel`): fleet members are partitioned
+into shards; each shard worker owns its members' databases, workloads,
+monitoring agents and TDEs, plus a snapshot of the tuner repository.
+Per window every member runs its batch and TDE round inside its shard
+(the embarrassingly parallel part), then the coordinator — the single
+writer of shared state — replays the per-member outcomes in canonical
+member order: samples land in the live repository, the director routes
+tuning requests, and fitted configs are shipped back to the owning
+shard for application at the start of the next window. Repository
+samples reach the shard snapshots one window later via the same
+broadcast, under both the sequential and the process backend, which is
+why ``--workers N`` is output-invariant.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import pickle
+from dataclasses import dataclass, field
+from typing import Any
 
-from repro.cloud.fleet import LiveFleet
+from repro.cloud.fleet import FleetSpec, build_member
 from repro.common.recording import NULL_RECORDER, Recorder
+from repro.common.rng import stream_root
 from repro.core.tde.engine import ThrottlingDetectionEngine
+from repro.core.tde.throttle import Throttle
 from repro.dbsim.knobs import postgres_catalog
 from repro.experiments.common import offline_train
+from repro.obs.trace import TraceRecorder
+from repro.parallel import FleetExecutor
 from repro.tuners.base import TrainingSample, TuningRequest
 from repro.tuners.ottertune import OtterTuneTuner
+from repro.tuners.repository import WorkloadRepository
 from repro.workloads.production import ProductionWorkload
 
 __all__ = ["RequestRatePoint", "Fig09Run", "run"]
@@ -55,6 +75,122 @@ class Fig09Run:
         return max(self.points, key=lambda p: p.tde_rpm).hour
 
 
+@dataclass(frozen=True)
+class _ShardSpec:
+    """Everything a shard worker needs to build its members, picklable."""
+
+    fleet: FleetSpec
+    repository: WorkloadRepository
+    tde_seed: int
+    window_s: float
+    traced: bool = False
+    host_time: bool = False
+
+
+@dataclass(frozen=True)
+class WindowCommand:
+    """One window's instructions, broadcast to every shard."""
+
+    window_s: float
+    #: Fitted configs from last window's tuning requests, applied to the
+    #: owning member's master (reload) before this window's batch runs.
+    apply: dict[int, Any] = field(default_factory=dict)
+    #: Samples the coordinator added to the live repository last window,
+    #: in canonical order — keeps shard repository snapshots one window
+    #: behind the coordinator, identically under every backend.
+    new_samples: tuple[TrainingSample, ...] = ()
+
+
+@dataclass
+class MemberWindowOut:
+    """One member's window outcome, shipped back to the coordinator."""
+
+    index: int
+    instance_id: str
+    workload_name: str
+    config: Any
+    metrics: Any
+    throttles: list[Throttle]
+    needs_tuning: bool
+    memory_limit_mb: float
+    active_connections: int
+    fragment: TraceRecorder | None = None
+
+
+class Fig09ShardWorker:
+    """Owns one shard's members; steps them one window at a time."""
+
+    def __init__(self, spec: _ShardSpec, indices: tuple[int, ...]) -> None:
+        # Every backend gives the shard its own repository snapshot via an
+        # explicit pickle round-trip, so in-process (sequential) shards
+        # behave exactly like forked/spawned ones.
+        self.repository: WorkloadRepository = pickle.loads(
+            pickle.dumps(spec.repository)
+        )
+        self.spec = spec
+        self.indices = tuple(sorted(indices))
+        self.members = {i: build_member(spec.fleet, i) for i in self.indices}
+        self.tdes = {
+            i: ThrottlingDetectionEngine(
+                member.instance_id,
+                member.deployment.service.master,
+                self.repository,
+                seed=spec.tde_seed + i,
+            )
+            for i, member in self.members.items()
+        }
+        self.clock_s = 0.0
+
+    def step(self, command: WindowCommand) -> list[tuple[int, MemberWindowOut]]:
+        for sample in command.new_samples:
+            self.repository.add(sample)
+        outs: list[tuple[int, MemberWindowOut]] = []
+        for i in self.indices:
+            member = self.members[i]
+            master = member.deployment.service.master
+            fitted = command.apply.get(i)
+            if fitted is not None:
+                master.apply_config(fitted, mode="reload")
+            tde = self.tdes[i]
+            fragment: TraceRecorder | None = None
+            if self.spec.traced:
+                fragment = TraceRecorder(host_time=self.spec.host_time)
+                fragment.advance(self.clock_s)
+                tde.recorder = fragment
+            else:
+                tde.recorder = NULL_RECORDER
+            batch = member.workload.batch(
+                command.window_s, start_time_s=self.clock_s + member.phase_offset_s
+            )
+            result = member.deployment.service.run(batch)
+            member.monitoring.ingest(result)
+            report = tde.inspect(result)
+            outs.append(
+                (
+                    i,
+                    MemberWindowOut(
+                        index=i,
+                        instance_id=member.instance_id,
+                        workload_name=result.batch.workload_name,
+                        config=result.config,
+                        metrics=result.metrics,
+                        throttles=list(report.throttles),
+                        needs_tuning=report.needs_tuning,
+                        memory_limit_mb=master.vm.db_memory_limit_mb,
+                        active_connections=master.active_connections,
+                        fragment=fragment,
+                    ),
+                )
+            )
+        self.clock_s += command.window_s
+        return outs
+
+
+def _shard_factory(spec: _ShardSpec, indices: tuple[int, ...]) -> Fig09ShardWorker:
+    """Top-level factory so every multiprocessing start method can use it."""
+    return Fig09ShardWorker(spec, indices)
+
+
 def run(
     fleet_size: int = 80,
     hours: float = 24.0,
@@ -63,6 +199,8 @@ def run(
     warmup_hours: float = 2.0,
     seed: int = 0,
     recorder: Recorder | None = None,
+    workers: int = 1,
+    start_method: str | None = None,
 ) -> Fig09Run:
     """Simulate the fleet for *hours* and count tuning requests.
 
@@ -71,7 +209,9 @@ def run(
     affecting the request rate); periodic counts are analytic
     (``fleet / period``, what a period-driven director would emit).
     A *recorder* (the trace harness) observes the TDE rounds and the
-    director's routing; None keeps the no-op default.
+    director's routing; None keeps the no-op default. *workers* selects
+    the sharded backend (1: in-process sequential; N: one worker process
+    per shard) — output is byte-identical across worker counts.
     """
     rec = recorder if recorder is not None else NULL_RECORDER
     catalog = postgres_catalog()
@@ -121,70 +261,83 @@ def run(
     # paper scale a smaller per-window sample keeps the day-long 80-member
     # simulation tractable while the template/class statistics it feeds
     # stay well-populated (64 queries per 5-minute window per member).
-    fleet = LiveFleet(
-        size=fleet_size,
-        flavor="postgres",
-        seed=seed,
-        sample_size=64 if paper_scale else 200,
-        # Nothing in this experiment reads the monitoring series back;
-        # retaining a day of per-second telemetry for 80 members would
-        # cost gigabytes, so keep an hour, like a real backend would.
-        monitoring_retention_s=3600.0 if paper_scale else None,
+    traced = isinstance(rec, TraceRecorder)
+    spec = _ShardSpec(
+        fleet=FleetSpec(
+            size=fleet_size,
+            flavor="postgres",
+            root=stream_root(seed),
+            sample_size=64 if paper_scale else 200,
+            # Nothing in this experiment reads the monitoring series back;
+            # retaining a day of per-second telemetry for 80 members would
+            # cost gigabytes, so keep an hour, like a real backend would.
+            monitoring_retention_s=3600.0 if paper_scale else None,
+        ),
+        repository=repository,
+        tde_seed=seed,
+        window_s=window_s,
+        traced=traced,
+        host_time=traced and rec.host_time,  # type: ignore[union-attr]
     )
-    tdes = {
-        member.instance_id: ThrottlingDetectionEngine(
-            member.instance_id,
-            member.deployment.service.master,
-            repository,
-            seed=seed + i,
-            recorder=rec,
-        )
-        for i, member in enumerate(fleet.members)
-    }
+    executor = FleetExecutor(workers=workers, start_method=start_method)
 
     request_times: list[float] = []
     warmup_end = warmup_hours * 3600.0
     windows = int((hours + warmup_hours) * 3600.0 / window_s)
-    for _ in range(windows):
-        now = fleet.clock_s - warmup_end
-        rec.advance(fleet.clock_s)
-        with rec.span(
-            "landscape.window", duration_s=window_s, fleet=fleet_size
-        ):
-            for member, result in fleet.step(window_s):
-                report = tdes[member.instance_id].inspect(result)
-                if not report.needs_tuning:
-                    continue
-                if now >= 0.0:
-                    # The fleet converges during warm-up (floors settle,
-                    # caps get filtered); counting starts afterwards, like
-                    # the paper's long-connected deployments.
-                    request_times.append(now)
-                master = member.deployment.service.master
-                repository.add(
-                    TrainingSample(
-                        result.batch.workload_name, result.config, result.metrics, now
+    clock_s = 0.0
+    pending: dict[int, Any] = {}
+    delta: list[TrainingSample] = []
+    with executor.fleet_session(_shard_factory, spec, fleet_size) as session:
+        for _ in range(windows):
+            now = clock_s - warmup_end
+            rec.advance(clock_s)
+            with rec.span(
+                "landscape.window", duration_s=window_s, fleet=fleet_size
+            ):
+                outs = session.step(
+                    WindowCommand(
+                        window_s=window_s,
+                        apply=pending,
+                        new_samples=tuple(delta),
                     )
                 )
-                actionable = [t for t in report.throttles if not t.requires_restart]
-                split = director.handle_tuning_request(
-                    TuningRequest(
-                        member.instance_id,
-                        result.batch.workload_name,
-                        result.config,
-                        result.metrics,
-                        throttle_class=actionable[0].knob_class.value,
-                        throttle_knobs=tuple(
-                            sorted({n for t in actionable for n in t.knobs})
-                        ),
-                        timestamp_s=now,
+                pending, delta = {}, []
+                for _, out in outs:
+                    if out.fragment is not None:
+                        assert isinstance(rec, TraceRecorder)
+                        rec.absorb(out.fragment)
+                for _, out in outs:
+                    if not out.needs_tuning:
+                        continue
+                    if now >= 0.0:
+                        # The fleet converges during warm-up (floors settle,
+                        # caps get filtered); counting starts afterwards, like
+                        # the paper's long-connected deployments.
+                        request_times.append(now)
+                    sample = TrainingSample(
+                        out.workload_name, out.config, out.metrics, now
                     )
-                )
-                fitted = split.reloadable.fitted_to_budget(
-                    master.vm.db_memory_limit_mb, master.active_connections
-                )
-                master.apply_config(fitted, mode="reload")
-                director.balancer.drain(window_s)
+                    repository.add(sample)
+                    delta.append(sample)
+                    actionable = [t for t in out.throttles if not t.requires_restart]
+                    split = director.handle_tuning_request(
+                        TuningRequest(
+                            out.instance_id,
+                            out.workload_name,
+                            out.config,
+                            out.metrics,
+                            throttle_class=actionable[0].knob_class.value,
+                            throttle_knobs=tuple(
+                                sorted({n for t in actionable for n in t.knobs})
+                            ),
+                            timestamp_s=now,
+                        )
+                    )
+                    pending[out.index] = split.reloadable.fitted_to_budget(
+                        out.memory_limit_mb, out.active_connections
+                    )
+                    director.balancer.drain(window_s)
+            clock_s += window_s
 
     points: list[RequestRatePoint] = []
     buckets = int(hours * 3600.0 / bucket_s)

@@ -21,6 +21,7 @@ from repro.core.tde.engine import ThrottlingDetectionEngine
 from repro.dbsim.engine import SimulatedDatabase
 from repro.dbsim.knobs import KnobClass, catalog_for
 from repro.experiments.common import offline_train
+from repro.parallel import FleetExecutor
 from repro.tuners.repository import WorkloadRepository
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.production import ProductionWorkload
@@ -92,29 +93,64 @@ def measure_throttles(
     )
 
 
+@dataclass(frozen=True)
+class _MeasureTask:
+    """One panel measurement, picklable for :meth:`FleetExecutor.map`."""
+
+    panel: str
+    workload: WorkloadGenerator
+    flavor: str
+    repository: WorkloadRepository
+    iterations: int
+    seed: int
+
+
+def _run_measure(task: _MeasureTask) -> ThrottlePanel:
+    return measure_throttles(
+        task.workload,
+        task.flavor,
+        task.repository,
+        iterations=task.iterations,
+        seed=task.seed,
+    )
+
+
 def run(
     flavor: str = "postgres",
     iterations: int = 20,
     seed: int = 0,
+    workers: int = 1,
+    start_method: str | None = None,
 ) -> dict[str, list[ThrottlePanel]]:
-    """Reproduce one figure (Fig. 10 for postgres, Fig. 11 for mysql)."""
+    """Reproduce one figure (Fig. 10 for postgres, Fig. 11 for mysql).
+
+    The five measurements are independent given the trained repository
+    (the TDE only reads it), so *workers* fans them out across processes;
+    results come back in panel order regardless of the worker count.
+    """
     catalog = catalog_for(flavor)
     panels = panel_workloads(seed=seed)
     training = [
         TPCCWorkload(rps=3300.0, data_size_gb=26.0, seed=seed + 11),
         YCSBWorkload(rps=5000.0, data_size_gb=20.0, seed=seed + 12),
     ]
-    repository = offline_train(catalog, training, n_configs=10, seed=seed + 13)
-    out: dict[str, list[ThrottlePanel]] = {}
-    for panel_name, workloads in panels.items():
-        out[panel_name] = [
-            measure_throttles(
-                workload,
-                flavor,
-                repository,
-                iterations=iterations,
-                seed=seed + 20 + i,
-            )
-            for i, workload in enumerate(workloads)
-        ]
+    executor = FleetExecutor(workers=workers, start_method=start_method)
+    repository = offline_train(
+        catalog, training, n_configs=10, seed=seed + 13, executor=executor
+    )
+    tasks = [
+        _MeasureTask(
+            panel=panel_name,
+            workload=workload,
+            flavor=flavor,
+            repository=repository,
+            iterations=iterations,
+            seed=seed + 20 + i,
+        )
+        for panel_name, workloads in panels.items()
+        for i, workload in enumerate(workloads)
+    ]
+    out: dict[str, list[ThrottlePanel]] = {name: [] for name in panels}
+    for task, panel in zip(tasks, executor.map(_run_measure, tasks)):
+        out[task.panel].append(panel)
     return out

@@ -73,6 +73,7 @@ def run(
     fleet_size: int = 3,
     hours: float = 1.0,
     warmup_hours: float = 0.5,
+    workers: int = 1,
 ) -> TraceArtifacts:
     """Trace one experiment run; see the module docstring.
 
@@ -81,11 +82,15 @@ def run(
     *fleet_size*/*hours*/*warmup_hours*). ``host_time`` additionally
     stamps spans with ``perf_counter`` deltas for the profile table —
     host times never reach the JSONL/Chrome exports, which stay
-    byte-identical either way.
+    byte-identical either way. *workers* selects the experiment's
+    parallel backend; every artifact is byte-identical across worker
+    counts.
     """
     recorder = TraceRecorder(host_time=host_time)
     if experiment == "chaos":
-        report = chaos_recovery.run(seed=seed, quick=True, recorder=recorder)
+        report = chaos_recovery.run(
+            seed=seed, quick=True, recorder=recorder, workers=workers
+        )
         recovery = (
             f"window {report.recovery_window:02d}"
             if report.recovery_window is not None
@@ -104,6 +109,7 @@ def run(
             warmup_hours=warmup_hours,
             seed=seed,
             recorder=recorder,
+            workers=workers,
         )
         headline = (
             f"fleet: size={fleet_size} hours={hours:g} "

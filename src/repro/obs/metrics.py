@@ -207,6 +207,46 @@ class MetricsRegistry:
             family.histograms[key] = state
         state.observe(value)
 
+    # -- merging -----------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other*'s samples into this registry, in place.
+
+        The order-stable reducer behind sharded fleet execution
+        (:mod:`repro.parallel`): counters add, histograms add bucket-wise
+        (edges must agree), gauges take *other*'s value (last write wins,
+        so callers must merge fragments in canonical member order — the
+        same convention a serial run follows). Kind and bucket-edge
+        conflicts raise rather than silently coerce.
+        """
+        if other is self:
+            raise ValueError("cannot merge a registry into itself")
+        for name in sorted(other.families):
+            theirs = other.families[name]
+            family = self.describe(name, theirs.kind, theirs.help, theirs.buckets)
+            if family.buckets != theirs.buckets:
+                raise ValueError(
+                    f"histogram {name!r} bucket edges differ: "
+                    f"{family.buckets} != {theirs.buckets}"
+                )
+            if theirs.kind == "histogram":
+                for key in sorted(theirs.histograms):
+                    state = theirs.histograms[key]
+                    mine = family.histograms.get(key)
+                    if mine is None:
+                        mine = _HistogramState(family.buckets or DEFAULT_BUCKETS)
+                        family.histograms[key] = mine
+                    for i, count in enumerate(state.counts):
+                        mine.counts[i] += count
+                    mine.total += state.total
+                    mine.n += state.n
+            elif theirs.kind == "counter":
+                for key in sorted(theirs.series):
+                    family.series[key] = family.series.get(key, 0.0) + theirs.series[key]
+            else:  # gauge
+                for key in sorted(theirs.series):
+                    family.series[key] = theirs.series[key]
+
     # -- inspection --------------------------------------------------------------
 
     def value(self, name: str, **labels: str) -> float:

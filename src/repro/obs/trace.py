@@ -174,6 +174,78 @@ class TraceRecorder(Recorder):
     def open_spans(self) -> int:
         return len(self._stack)
 
+    # -- merging -----------------------------------------------------------------
+
+    def absorb(self, fragment: "TraceRecorder") -> None:
+        """Splice a completed *fragment* recorder into this one.
+
+        The trace half of the sharded-execution reducer
+        (:mod:`repro.parallel`): a worker records a member's spans and
+        events into a fresh fragment recorder; the coordinator absorbs
+        fragments in canonical member order. The fragment's recording
+        calls are replayed against this recorder's counters in their
+        original interleaving (recovered from the fragment's own ``seq``
+        numbers), so the result is byte-identical to having made those
+        calls inline. Fragment-root spans are re-parented under the span
+        currently open here; simulated times are copied verbatim; the
+        fragment's metrics registry merges into this one.
+        """
+        if fragment.open_spans:
+            raise ValueError(
+                f"cannot absorb fragment with {fragment.open_spans} open span(s)"
+            )
+        timeline: list[tuple[int, str, TraceSpan | TraceEvent]] = []
+        for span in fragment.spans:
+            timeline.append((span.seq, "open", span))
+            timeline.append((span.end_seq, "close", span))
+        for ev in fragment.events:
+            timeline.append((ev.seq, "event", ev))
+        timeline.sort(key=lambda entry: entry[0])
+
+        ambient = self._stack[-1].span_id if self._stack else None
+        id_map: dict[int, TraceSpan] = {}
+        for _, kind, item in timeline:
+            if kind == "open":
+                assert isinstance(item, TraceSpan)
+                parent_id = (
+                    id_map[item.parent_id].span_id
+                    if item.parent_id is not None
+                    else ambient
+                )
+                copied = TraceSpan(
+                    span_id=self._next_span_id,
+                    parent_id=parent_id,
+                    seq=self._seq(),
+                    name=item.name,
+                    instance=item.instance,
+                    start_sim_s=item.start_sim_s,
+                    end_sim_s=item.end_sim_s,
+                    attrs=dict(item.attrs),
+                    pinned_duration_s=item.pinned_duration_s,
+                    host_s=item.host_s,
+                )
+                self._next_span_id += 1
+                id_map[item.span_id] = copied
+                self.spans.append(copied)
+            elif kind == "close":
+                assert isinstance(item, TraceSpan)
+                id_map[item.span_id].end_seq = self._seq()
+            else:
+                assert isinstance(item, TraceEvent)
+                self.events.append(
+                    TraceEvent(
+                        seq=self._seq(),
+                        time_s=item.time_s,
+                        name=item.name,
+                        instance=item.instance,
+                        attrs=dict(item.attrs),
+                    )
+                )
+        if fragment.now_s > self.now_s:
+            self.now_s = fragment.now_s
+        if fragment.metrics is not self.metrics:
+            self.metrics.merge(fragment.metrics)
+
     # -- events ------------------------------------------------------------------
 
     def event(self, name: str, *, instance: str = "", **attrs: object) -> None:

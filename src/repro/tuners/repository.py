@@ -75,6 +75,15 @@ class _GrowingMatrix:
     def view(self) -> np.ndarray:
         return self._buf[: self.n]
 
+    def __getstate__(self) -> tuple[np.ndarray, int]:
+        # Pickle only the filled rows: the spare capacity is np.empty
+        # garbage, and shipping it would make snapshot bytes (shard
+        # worker setup, parity digests) depend on allocation history.
+        return (self._buf[: self.n].copy(), self.n)
+
+    def __setstate__(self, state: tuple[np.ndarray, int]) -> None:
+        self._buf, self.n = state
+
 
 class _WorkloadArrays:
     """Incrementally maintained matrices plus top-samples for one workload."""
