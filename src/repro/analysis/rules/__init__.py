@@ -1,10 +1,11 @@
-"""Builtin lint rules. Importing this package registers R001–R007."""
+"""Builtin lint rules. Importing this package registers R001–R008."""
 
 from repro.analysis.rules.cache_version import CacheVersionBumpRule
 from repro.analysis.rules.knob_registry import KnobRegistryRule
 from repro.analysis.rules.observability import RecorderMustThreadRule
 from repro.analysis.rules.rng import NoGlobalRngRule, RngMustThreadRule
 from repro.analysis.rules.robustness import BoundedControlPlaneRule
+from repro.analysis.rules.serialization import NoSnapshotInLoopRule
 from repro.analysis.rules.wallclock import NoWallclockInSimRule
 
 __all__ = [
@@ -12,6 +13,7 @@ __all__ = [
     "CacheVersionBumpRule",
     "KnobRegistryRule",
     "NoGlobalRngRule",
+    "NoSnapshotInLoopRule",
     "NoWallclockInSimRule",
     "RecorderMustThreadRule",
     "RngMustThreadRule",

@@ -1,0 +1,83 @@
+"""R008 no-snapshot-in-loop: don't pickle repository objects per window.
+
+The sharded fleet executor's wire discipline is delta-only: the shared
+repository snapshot crosses to each worker exactly once, at session
+setup, and every subsequent window broadcasts only wire-encoded deltas.
+A ``pickle.dumps`` of a repository-like object inside a loop is the
+signature of the anti-pattern that discipline replaced — re-serialising
+the whole shared state every iteration, which makes per-window bytes
+(and time) scale with run length instead of with what changed.
+
+The rule fires on ``pickle.dumps(...)`` calls lexically inside any
+``for``/``while`` loop whose argument expression mentions a name or
+attribute containing ``repository`` (``snapshot`` of one included).
+One-off snapshots at session setup are loop-free and stay legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import ParsedModule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["NoSnapshotInLoopRule"]
+
+
+def _mentions_repository(node: ast.expr) -> str | None:
+    """The first repository-like identifier inside *node*, if any."""
+    for sub in ast.walk(node):
+        name: str | None = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is not None and "repository" in name.lower():
+            return name
+    return None
+
+
+def _is_pickle_dumps(call: ast.Call) -> bool:
+    func = call.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "dumps"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "pickle"
+    )
+
+
+@register
+class NoSnapshotInLoopRule(Rule):
+    """R008: repository snapshots must not be pickled inside loops."""
+
+    id = "R008"
+    title = "repository object pickled inside a loop"
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        seen: set[int] = set()  # a call nested in two loops fires once
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call) or not _is_pickle_dumps(node):
+                    continue
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                for arg in node.args:
+                    name = _mentions_repository(arg)
+                    if name is None:
+                        continue
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"pickle.dumps of `{name}` inside a loop "
+                        "re-broadcasts the whole snapshot every iteration; "
+                        "ship wire-encoded deltas and snapshot once at "
+                        "session setup (delta-only executor discipline)",
+                    )
+                    break

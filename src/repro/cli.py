@@ -397,6 +397,9 @@ def _run_trace(args: argparse.Namespace) -> int:
     if args.profile:
         print()
         print(artifacts.profile_table, end="")
+        if artifacts.pipe_table:
+            print()
+            print(artifacts.pipe_table, end="")
     if args.metrics:
         print()
         print(artifacts.metrics_text, end="")

@@ -24,6 +24,7 @@ import numpy as np
 from repro.cloud.monitoring import MonitoringAgent
 from repro.cloud.provisioner import Provisioner, ServiceDeployment
 from repro.common.rng import stream_root, substream
+from repro.dbsim.batch_engine import MemberBatch
 from repro.dbsim.engine import ExecutionResult
 from repro.workloads.production import ProductionWorkload
 
@@ -157,6 +158,9 @@ class LiveFleet:
         self.members: list[FleetMember] = [
             build_member(self.spec, i) for i in range(size)
         ]
+        self._engine = MemberBatch(
+            [m.deployment.service.master for m in self.members]
+        )
         self.clock_s = 0.0
 
     def __len__(self) -> int:
@@ -165,11 +169,30 @@ class LiveFleet:
     def step(self, window_s: float) -> list[tuple[FleetMember, ExecutionResult]]:
         """Run one window on every member and advance the fleet clock."""
         out: list[tuple[FleetMember, ExecutionResult]] = []
-        for member in self.members:
-            batch = member.workload.batch(
+        if any(m.deployment.service.master.crashed for m in self.members):
+            # Serial semantics for a downed member: earlier members step
+            # and ingest, then the dead member raises — generators and
+            # monitoring past it must not advance.
+            for member in self.members:
+                batch = member.workload.batch(
+                    window_s, start_time_s=self.clock_s + member.phase_offset_s
+                )
+                result = member.deployment.service.run(batch)
+                member.monitoring.ingest(result)
+                out.append((member, result))
+            self.clock_s += window_s
+            return out
+        # Columnar hot path: every member draws only from its own keyed
+        # substream, so generating all batches before stepping all members
+        # consumes the streams exactly as the interleaved loop would.
+        batches = [
+            member.workload.batch(
                 window_s, start_time_s=self.clock_s + member.phase_offset_s
             )
-            result = member.deployment.service.run(batch)
+            for member in self.members
+        ]
+        results = self._engine.step_window(batches)
+        for member, result in zip(self.members, results):
             member.monitoring.ingest(result)
             out.append((member, result))
         self.clock_s += window_s

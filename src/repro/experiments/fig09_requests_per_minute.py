@@ -24,6 +24,17 @@ shard for application at the start of the next window. Repository
 samples reach the shard snapshots one window later via the same
 broadcast, under both the sequential and the process backend, which is
 why ``--workers N`` is output-invariant.
+
+Wire discipline: the repository snapshot crosses to each shard exactly
+once, at session setup. After window 0 the broadcast carries only
+deltas — fitted knob values and new training samples, both encoded as
+plain float tuples — and the per-member bulk state (each member's knob
+values and delta-metric vector) travels through a shared-memory
+:class:`~repro.parallel.shm.MemberBank` instead of the result pipe;
+steady-state replies name only the members that need tuning. Encoding
+is value-exact (python floats in catalog/metric-name order), so every
+decoded object equals what a direct object transfer would have carried
+and outputs stay byte-identical across worker counts.
 """
 
 from __future__ import annotations
@@ -37,16 +48,73 @@ from repro.common.recording import NULL_RECORDER, Recorder
 from repro.common.rng import stream_root
 from repro.core.tde.engine import ThrottlingDetectionEngine
 from repro.core.tde.throttle import Throttle
-from repro.dbsim.knobs import postgres_catalog
+from repro.dbsim.batch_engine import MemberBatch
+from repro.dbsim.config import KnobConfiguration
+from repro.dbsim.knobs import KnobCatalog, postgres_catalog
+from repro.dbsim.metrics import METRIC_NAMES, MetricsDelta
 from repro.experiments.common import offline_train
 from repro.obs.trace import TraceRecorder
 from repro.parallel import FleetExecutor
+from repro.parallel.shm import MemberBank, MemberBankHandle
+from repro.parallel.stats import SessionStats
 from repro.tuners.base import TrainingSample, TuningRequest
 from repro.tuners.ottertune import OtterTuneTuner
 from repro.tuners.repository import WorkloadRepository
 from repro.workloads.production import ProductionWorkload
 
 __all__ = ["RequestRatePoint", "Fig09Run", "run"]
+
+
+# -- compact wire codec -----------------------------------------------------
+#
+# Everything that crosses the pipe after window 0 is built from python
+# floats and strings via these helpers, used identically by both
+# backends. Decoding against a same-flavor catalog rebuilds objects that
+# compare equal to (and compute bit-identically with) the originals.
+
+
+def _config_values(config: KnobConfiguration) -> tuple[float, ...]:
+    """A configuration's knob values in canonical catalog order."""
+    return tuple(config[name] for name in config.catalog.names())
+
+
+def _metric_values(metrics: MetricsDelta) -> tuple[float, ...]:
+    """A delta-metric vector's values in canonical metric order."""
+    return tuple(metrics.values[name] for name in METRIC_NAMES)
+
+
+def _decode_config(
+    catalog: KnobCatalog, values: tuple[float, ...] | list[float]
+) -> KnobConfiguration:
+    return KnobConfiguration(catalog, dict(zip(catalog.names(), values)))
+
+
+def _decode_metrics(values: tuple[float, ...] | list[float]) -> MetricsDelta:
+    return MetricsDelta(dict(zip(METRIC_NAMES, values)))
+
+
+#: Wire form of one training sample: (workload_id, knob values, metric
+#: values, timestamp).
+_WireSample = tuple[str, tuple[float, ...], tuple[float, ...], float]
+
+
+def _encode_sample(sample: TrainingSample) -> _WireSample:
+    return (
+        sample.workload_id,
+        _config_values(sample.config),
+        _metric_values(sample.metrics),
+        sample.timestamp_s,
+    )
+
+
+def _decode_sample(catalog: KnobCatalog, wire: _WireSample) -> TrainingSample:
+    workload_id, config_values, metric_values, timestamp_s = wire
+    return TrainingSample(
+        workload_id,
+        _decode_config(catalog, config_values),
+        _decode_metrics(metric_values),
+        timestamp_s,
+    )
 
 
 @dataclass(frozen=True)
@@ -85,25 +153,38 @@ class _ShardSpec:
     window_s: float
     traced: bool = False
     host_time: bool = False
+    #: Shared member-state bank; ``None`` falls back to shipping full
+    #: :class:`MemberWindowOut` objects every window (tests).
+    bank: MemberBankHandle | None = None
 
 
 @dataclass(frozen=True)
 class WindowCommand:
-    """One window's instructions, broadcast to every shard."""
+    """One window's instructions, broadcast to every shard.
+
+    Past window 0 this is the *only* thing a shard receives, and it
+    carries no objects — just float tuples (see the wire codec above).
+    """
 
     window_s: float
-    #: Fitted configs from last window's tuning requests, applied to the
-    #: owning member's master (reload) before this window's batch runs.
-    apply: dict[int, Any] = field(default_factory=dict)
-    #: Samples the coordinator added to the live repository last window,
-    #: in canonical order — keeps shard repository snapshots one window
-    #: behind the coordinator, identically under every backend.
-    new_samples: tuple[TrainingSample, ...] = ()
+    #: Fitted knob values from last window's tuning requests (canonical
+    #: catalog order), applied to the owning member's master (reload)
+    #: before this window's batch runs.
+    apply: dict[int, tuple[float, ...]] = field(default_factory=dict)
+    #: Wire-encoded samples the coordinator added to the live repository
+    #: last window, in canonical order — keeps shard repository snapshots
+    #: one window behind the coordinator, identically under every backend.
+    new_samples: tuple[_WireSample, ...] = ()
 
 
 @dataclass
 class MemberWindowOut:
-    """One member's window outcome, shipped back to the coordinator."""
+    """One member's full window outcome (window 0 and traced runs).
+
+    Window 0 seeds the coordinator's cache of static member facts
+    (instance id, workload name, memory budget); traced runs keep the
+    full form every window because they also carry trace fragments.
+    """
 
     index: int
     instance_id: str
@@ -115,6 +196,18 @@ class MemberWindowOut:
     memory_limit_mb: float
     active_connections: int
     fragment: TraceRecorder | None = None
+
+
+@dataclass(frozen=True)
+class MemberTuningOut:
+    """Steady-state reply for one member that needs tuning.
+
+    Members that don't need tuning send nothing — their bulk state (knob
+    values, metric vector) is already in the member bank.
+    """
+
+    index: int
+    throttles: tuple[Throttle, ...]
 
 
 class Fig09ShardWorker:
@@ -139,26 +232,106 @@ class Fig09ShardWorker:
             )
             for i, member in self.members.items()
         }
+        self._engine = MemberBatch(
+            [self.members[i].deployment.service.master for i in self.indices]
+        )
+        self._catalog = self.members[self.indices[0]].deployment.service.master.catalog
+        self._bank = spec.bank.attach() if spec.bank is not None else None
+        self._windows = 0
         self.clock_s = 0.0
 
-    def step(self, command: WindowCommand) -> list[tuple[int, MemberWindowOut]]:
-        for sample in command.new_samples:
-            self.repository.add(sample)
+    def step(self, command: WindowCommand) -> list[tuple[int, Any]]:
+        for wire in command.new_samples:
+            self.repository.add(_decode_sample(self._catalog, wire))
+        if self.spec.traced:
+            return self._step_traced(command)
+        # Columnar hot path (untraced): apply pending configs in member
+        # order, generate every member's batch, then step the whole shard
+        # through the vectorized engine. Members draw only from their own
+        # keyed substreams, so the phase reordering is draw-exact against
+        # the serial per-member loop.
+        for i in self.indices:
+            fitted = command.apply.get(i)
+            if fitted is not None:
+                master = self.members[i].deployment.service.master
+                master.apply_config(
+                    _decode_config(master.catalog, fitted), mode="reload"
+                )
+        batches = [
+            self.members[i].workload.batch(
+                command.window_s,
+                start_time_s=self.clock_s + self.members[i].phase_offset_s,
+            )
+            for i in self.indices
+        ]
+        results = self._engine.step_window(batches)
+        # Window 0 ships full outs (the coordinator caches the static
+        # member facts); afterwards the bank carries the bulk vectors and
+        # the pipe names only the members that need tuning.
+        compact = self._bank is not None and self._windows > 0
+        outs: list[tuple[int, Any]] = []
+        for i, result in zip(self.indices, results):
+            member = self.members[i]
+            master = member.deployment.service.master
+            member.monitoring.ingest(result)
+            tde = self.tdes[i]
+            tde.recorder = NULL_RECORDER
+            report = tde.inspect(result)
+            if self._bank is not None:
+                self._bank.write(
+                    i,
+                    list(_config_values(result.config)),
+                    list(_metric_values(result.metrics)),
+                )
+            if compact:
+                if report.needs_tuning:
+                    outs.append(
+                        (i, MemberTuningOut(i, tuple(report.throttles)))
+                    )
+                continue
+            outs.append(
+                (
+                    i,
+                    MemberWindowOut(
+                        index=i,
+                        instance_id=member.instance_id,
+                        workload_name=result.batch.workload_name,
+                        config=result.config,
+                        metrics=result.metrics,
+                        throttles=list(report.throttles),
+                        needs_tuning=report.needs_tuning,
+                        memory_limit_mb=master.vm.db_memory_limit_mb,
+                        active_connections=master.active_connections,
+                        fragment=None,
+                    ),
+                )
+            )
+        self._windows += 1
+        self.clock_s += command.window_s
+        return outs
+
+    def _step_traced(
+        self, command: WindowCommand
+    ) -> list[tuple[int, MemberWindowOut]]:
+        """Serial per-member loop for traced runs.
+
+        Trace fragments interleave member spans with sim-time advances;
+        the golden-trace digests pin that exact ordering, so traced
+        windows keep the reference loop.
+        """
         outs: list[tuple[int, MemberWindowOut]] = []
         for i in self.indices:
             member = self.members[i]
             master = member.deployment.service.master
             fitted = command.apply.get(i)
             if fitted is not None:
-                master.apply_config(fitted, mode="reload")
+                master.apply_config(
+                    _decode_config(master.catalog, fitted), mode="reload"
+                )
             tde = self.tdes[i]
-            fragment: TraceRecorder | None = None
-            if self.spec.traced:
-                fragment = TraceRecorder(host_time=self.spec.host_time)
-                fragment.advance(self.clock_s)
-                tde.recorder = fragment
-            else:
-                tde.recorder = NULL_RECORDER
+            fragment = TraceRecorder(host_time=self.spec.host_time)
+            fragment.advance(self.clock_s)
+            tde.recorder = fragment
             batch = member.workload.batch(
                 command.window_s, start_time_s=self.clock_s + member.phase_offset_s
             )
@@ -201,6 +374,7 @@ def run(
     recorder: Recorder | None = None,
     workers: int = 1,
     start_method: str | None = None,
+    stats: SessionStats | None = None,
 ) -> Fig09Run:
     """Simulate the fleet for *hours* and count tuning requests.
 
@@ -211,7 +385,9 @@ def run(
     A *recorder* (the trace harness) observes the TDE rounds and the
     director's routing; None keeps the no-op default. *workers* selects
     the sharded backend (1: in-process sequential; N: one worker process
-    per shard) — output is byte-identical across worker counts.
+    per shard) — output is byte-identical across worker counts. *stats*,
+    if given, collects the executor session's pipe-seam accounting
+    (bytes and per-phase times per window) without affecting results.
     """
     rec = recorder if recorder is not None else NULL_RECORDER
     catalog = postgres_catalog()
@@ -262,6 +438,9 @@ def run(
     # simulation tractable while the template/class statistics it feeds
     # stay well-populated (64 queries per 5-minute window per member).
     traced = isinstance(rec, TraceRecorder)
+    bank = MemberBank.create(
+        fleet_size, len(catalog), len(METRIC_NAMES), shared=workers > 1
+    )
     spec = _ShardSpec(
         fleet=FleetSpec(
             size=fleet_size,
@@ -278,66 +457,111 @@ def run(
         window_s=window_s,
         traced=traced,
         host_time=traced and rec.host_time,  # type: ignore[union-attr]
+        bank=bank.handle(),
     )
     executor = FleetExecutor(workers=workers, start_method=start_method)
+    if stats is not None:
+        # The window-0 setup cost. Measured once, at the session
+        # boundary — never inside the window loop.
+        stats.snapshot_bytes = len(pickle.dumps(repository))
 
     request_times: list[float] = []
     warmup_end = warmup_hours * 3600.0
     windows = int((hours + warmup_hours) * 3600.0 / window_s)
     clock_s = 0.0
-    pending: dict[int, Any] = {}
-    delta: list[TrainingSample] = []
-    with executor.fleet_session(_shard_factory, spec, fleet_size) as session:
-        for _ in range(windows):
-            now = clock_s - warmup_end
-            rec.advance(clock_s)
-            with rec.span(
-                "landscape.window", duration_s=window_s, fleet=fleet_size
-            ):
-                outs = session.step(
-                    WindowCommand(
-                        window_s=window_s,
-                        apply=pending,
-                        new_samples=tuple(delta),
-                    )
-                )
-                pending, delta = {}, []
-                for _, out in outs:
-                    if out.fragment is not None:
-                        assert isinstance(rec, TraceRecorder)
-                        rec.absorb(out.fragment)
-                for _, out in outs:
-                    if not out.needs_tuning:
-                        continue
-                    if now >= 0.0:
-                        # The fleet converges during warm-up (floors settle,
-                        # caps get filtered); counting starts afterwards, like
-                        # the paper's long-connected deployments.
-                        request_times.append(now)
-                    sample = TrainingSample(
-                        out.workload_name, out.config, out.metrics, now
-                    )
-                    repository.add(sample)
-                    delta.append(sample)
-                    actionable = [t for t in out.throttles if not t.requires_restart]
-                    split = director.handle_tuning_request(
-                        TuningRequest(
-                            out.instance_id,
-                            out.workload_name,
-                            out.config,
-                            out.metrics,
-                            throttle_class=actionable[0].knob_class.value,
-                            throttle_knobs=tuple(
-                                sorted({n for t in actionable for n in t.knobs})
-                            ),
-                            timestamp_s=now,
+    pending: dict[int, tuple[float, ...]] = {}
+    delta: list[_WireSample] = []
+    #: Static member facts cached from the window-0 full outs.
+    static: dict[int, tuple[str, str, float, int]] = {}
+    session = executor.fleet_session(_shard_factory, spec, fleet_size, stats=stats)
+    try:
+        with session:
+            for _ in range(windows):
+                now = clock_s - warmup_end
+                rec.advance(clock_s)
+                with rec.span(
+                    "landscape.window", duration_s=window_s, fleet=fleet_size
+                ):
+                    outs = session.step(
+                        WindowCommand(
+                            window_s=window_s,
+                            apply=pending,
+                            new_samples=tuple(delta),
                         )
                     )
-                    pending[out.index] = split.reloadable.fitted_to_budget(
-                        out.memory_limit_mb, out.active_connections
-                    )
-                    director.balancer.drain(window_s)
-            clock_s += window_s
+                    pending, delta = {}, []
+                    for _, out in outs:
+                        if isinstance(out, MemberWindowOut):
+                            static[out.index] = (
+                                out.instance_id,
+                                out.workload_name,
+                                out.memory_limit_mb,
+                                out.active_connections,
+                            )
+                            if out.fragment is not None:
+                                assert isinstance(rec, TraceRecorder)
+                                rec.absorb(out.fragment)
+                    for idx, out in outs:
+                        if isinstance(out, MemberWindowOut):
+                            if not out.needs_tuning:
+                                continue
+                            throttles: list[Throttle] = list(out.throttles)
+                            config, metrics = out.config, out.metrics
+                            instance_id = out.instance_id
+                            workload_name = out.workload_name
+                            memory_limit_mb = out.memory_limit_mb
+                            active_connections = out.active_connections
+                        else:
+                            # Steady state: the pipe named the member, the
+                            # bank holds its vectors, the cache its facts.
+                            throttles = list(out.throttles)
+                            (
+                                instance_id,
+                                workload_name,
+                                memory_limit_mb,
+                                active_connections,
+                            ) = static[idx]
+                            config = _decode_config(catalog, bank.config_row(idx))
+                            metrics = _decode_metrics(bank.metrics_row(idx))
+                        if now >= 0.0:
+                            # The fleet converges during warm-up (floors
+                            # settle, caps get filtered); counting starts
+                            # afterwards, like the paper's long-connected
+                            # deployments.
+                            request_times.append(now)
+                        sample = TrainingSample(workload_name, config, metrics, now)
+                        repository.add(sample)
+                        delta.append(_encode_sample(sample))
+                        actionable = [
+                            t for t in throttles if not t.requires_restart
+                        ]
+                        split = director.handle_tuning_request(
+                            TuningRequest(
+                                instance_id,
+                                workload_name,
+                                config,
+                                metrics,
+                                throttle_class=actionable[0].knob_class.value,
+                                throttle_knobs=tuple(
+                                    sorted({n for t in actionable for n in t.knobs})
+                                ),
+                                timestamp_s=now,
+                            )
+                        )
+                        pending[idx] = _config_values(
+                            split.reloadable.fitted_to_budget(
+                                memory_limit_mb, active_connections
+                            )
+                        )
+                        director.balancer.drain(window_s)
+                clock_s += window_s
+    finally:
+        bank.close()
+    if stats is not None:
+        # What the pre-delta protocol would have pickled at the last
+        # window: the repository with every ingested sample. The honest
+        # counterfactual for the delta-only saving.
+        stats.final_snapshot_bytes = len(pickle.dumps(repository))
 
     points: list[RequestRatePoint] = []
     buckets = int(hours * 3600.0 / bucket_s)

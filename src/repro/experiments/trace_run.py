@@ -24,6 +24,7 @@ from repro.experiments import fig09_requests_per_minute as fig09
 from repro.obs.export import to_chrome_trace, to_jsonl
 from repro.obs.profile import profile, render_profile
 from repro.obs.trace import TraceRecorder
+from repro.parallel.stats import SessionStats, render_session_stats
 
 __all__ = ["EXPERIMENTS", "TraceArtifacts", "run"]
 
@@ -43,6 +44,10 @@ class TraceArtifacts:
     profile_table: str
     metrics_text: str
     recorder: TraceRecorder
+    #: Executor pipe-seam accounting (fleet experiment only): bytes
+    #: serialized per window and the step/serialize/reduce time split.
+    #: Rendered for ``--profile``; never part of the digest-pinned trace.
+    pipe_table: str = ""
 
     @property
     def digest(self) -> str:
@@ -87,6 +92,7 @@ def run(
     counts.
     """
     recorder = TraceRecorder(host_time=host_time)
+    session_stats: SessionStats | None = None
     if experiment == "chaos":
         report = chaos_recovery.run(
             seed=seed, quick=True, recorder=recorder, workers=workers
@@ -103,6 +109,7 @@ def run(
             f"fallbacks={report.fallbacks_served} recovery={recovery}"
         )
     elif experiment == "fleet":
+        session_stats = SessionStats()
         result = fig09.run(
             fleet_size=fleet_size,
             hours=hours,
@@ -110,6 +117,7 @@ def run(
             seed=seed,
             recorder=recorder,
             workers=workers,
+            stats=session_stats,
         )
         headline = (
             f"fleet: size={fleet_size} hours={hours:g} "
@@ -131,5 +139,8 @@ def run(
         profile_table=render_profile(profile(recorder)),
         metrics_text=render_registry(recorder.metrics),
         recorder=recorder,
+        pipe_table=(
+            render_session_stats(session_stats) if session_stats else ""
+        ),
     )
     return artifacts

@@ -30,12 +30,19 @@ from repro.parallel.executor import (
     partition_members,
 )
 from repro.parallel.reduce import merge_member_outputs, merge_registries
+from repro.parallel.shm import MemberBank, MemberBankHandle
+from repro.parallel.stats import SessionStats, StepStats, render_session_stats
 
 __all__ = [
     "FleetExecutor",
     "FleetSession",
+    "MemberBank",
+    "MemberBankHandle",
+    "SessionStats",
+    "StepStats",
     "WorkerCrashed",
     "merge_member_outputs",
     "merge_registries",
     "partition_members",
+    "render_session_stats",
 ]

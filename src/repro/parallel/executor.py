@@ -34,10 +34,13 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import time
 import traceback
 from collections.abc import Callable, Sequence
 from multiprocessing.connection import Connection
 from typing import Any
+
+from repro.parallel.stats import SessionStats, StepStats
 
 __all__ = ["FleetExecutor", "FleetSession", "WorkerCrashed", "partition_members"]
 
@@ -147,7 +150,10 @@ def _session_main(
             break
         assert message[0] == "step"
         try:
-            conn.send(("ok", list(worker.step(message[1]))))
+            start = time.perf_counter()
+            outputs = list(worker.step(message[1]))
+            step_s = time.perf_counter() - start
+            conn.send(("ok", outputs, step_s))
         except BaseException as exc:  # noqa: B036 - report, then die
             conn.send(("error", repr(exc), traceback.format_exc()))
             break
@@ -213,7 +219,7 @@ class FleetExecutor:
         results: list[Any] = [None] * len(items)
         try:
             for (shard, proc, conn), chunk in zip(procs, chunks):
-                payload = _receive(conn, proc, shard)
+                payload = _receive(conn, proc, shard)[0][1]
                 for index, value in zip(chunk, payload):
                     results[index] = _isolate(value)
         finally:
@@ -232,6 +238,7 @@ class FleetExecutor:
         spec: Any,
         n_members: int,
         partition: Sequence[Sequence[int]] | None = None,
+        stats: SessionStats | None = None,
     ) -> "FleetSession":
         """Open a stateful sharded session over *n_members* members.
 
@@ -240,7 +247,9 @@ class FleetExecutor:
         ``step(command)`` returns ``(member_index, payload)`` pairs.
         *partition* overrides the canonical contiguous partition — any
         disjoint cover of ``range(n_members)`` must yield identical
-        results (the property suite exercises exactly that).
+        results (the property suite exercises exactly that). *stats*, if
+        given, collects the session's per-step pipe-seam accounting (the
+        session always keeps its own on ``FleetSession.stats``).
         """
         if partition is None:
             shards = partition_members(n_members, self.workers)
@@ -251,15 +260,16 @@ class FleetExecutor:
                 raise ValueError(
                     f"partition does not cover range({n_members}) exactly: {covered}"
                 )
-        return FleetSession(self, factory, spec, shards)
+        return FleetSession(self, factory, spec, shards, stats=stats)
 
 
-def _receive(conn: Connection, proc: Any, shard: int) -> Any:
-    """One worker message, or a typed :class:`WorkerCrashed` — never a hang."""
+def _receive(conn: Connection, proc: Any, shard: int) -> tuple[Any, int]:
+    """One worker message and its wire size, or a typed
+    :class:`WorkerCrashed` — never a hang."""
     while True:
         try:
             if conn.poll(_POLL_INTERVAL_S):
-                message = conn.recv()
+                payload = conn.recv_bytes()
                 break
         except (EOFError, OSError):
             proc.join(timeout=5.0)
@@ -269,14 +279,18 @@ def _receive(conn: Connection, proc: Any, shard: int) -> Any:
         if not proc.is_alive():
             # Raced against a final message already in the pipe?
             if conn.poll(0):
-                message = conn.recv()
+                payload = conn.recv_bytes()
                 break
             raise WorkerCrashed(shard, "worker died", proc.exitcode)
+    # ``Connection.send`` is ``send_bytes(pickle.dumps(obj))``; reading
+    # the raw frame keeps workers on plain ``send`` while letting the
+    # coordinator weigh every reply.
+    message = pickle.loads(payload)
     if message[0] == "error":
         raise WorkerCrashed(
             shard, message[1], proc.exitcode, remote_traceback=message[2]
         )
-    return message[1]
+    return message, len(payload)
 
 
 class FleetSession:
@@ -294,11 +308,15 @@ class FleetSession:
         factory: Callable[[Any, tuple[int, ...]], Any],
         spec: Any,
         shards: list[list[int]],
+        stats: SessionStats | None = None,
     ) -> None:
         self._executor = executor
         self._factory = factory
         self._spec = spec
         self.shards = shards
+        self.stats = stats if stats is not None else SessionStats()
+        self.stats.backend = executor.backend
+        self.stats.shards = len(shards)
         self._local_workers: list[Any] | None = None
         self._procs: list[tuple[Any, Connection]] = []
         self._closed = False
@@ -328,18 +346,54 @@ class FleetSession:
         """Run one step on every shard; outputs merged in member order."""
         if self._closed:
             raise RuntimeError("session is closed")
+        clock = time.perf_counter
+        start = clock()
+        # The command is serialized exactly once per window whatever the
+        # backend: the process path broadcasts the one payload to every
+        # pipe, the sequential path only weighs it — the per-window wire
+        # cost is a reported, asserted-on number either way.
+        payload = pickle.dumps(("step", command))
+        serialize_s = clock() - start
         if self._local_workers is not None:
+            start = clock()
             outputs = [list(worker.step(command)) for worker in self._local_workers]
+            step_s = clock() - start
+            bytes_sent = bytes_received = 0
+            send_s = recv_s = 0.0
         else:
+            start = clock()
             for _, conn in self._procs:
-                conn.send(("step", command))
-            outputs = [
-                _receive(conn, proc, shard)
-                for shard, (proc, conn) in enumerate(self._procs)
-            ]
+                conn.send_bytes(payload)
+            send_s = clock() - start
+            bytes_sent = len(payload) * len(self._procs)
+            start = clock()
+            outputs = []
+            bytes_received = 0
+            step_s = 0.0
+            for shard, (proc, conn) in enumerate(self._procs):
+                message, nbytes = _receive(conn, proc, shard)
+                outputs.append(message[1])
+                step_s = max(step_s, message[2])
+                bytes_received += nbytes
+            recv_s = clock() - start
         from repro.parallel.reduce import merge_member_outputs
 
-        return merge_member_outputs(outputs)
+        start = clock()
+        merged = merge_member_outputs(outputs)
+        merge_s = clock() - start
+        self.stats.record(
+            StepStats(
+                command_bytes=len(payload),
+                bytes_sent=bytes_sent,
+                bytes_received=bytes_received,
+                serialize_s=serialize_s,
+                send_s=send_s,
+                step_s=step_s,
+                recv_s=recv_s,
+                merge_s=merge_s,
+            )
+        )
+        return merged
 
     def close(self) -> None:
         if self._closed:

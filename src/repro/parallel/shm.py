@@ -1,0 +1,151 @@
+"""Shared-memory member-state bank for the sharded fleet executor.
+
+Steady-state fleet windows move two dense per-member vectors from shard
+workers back to the coordinator: the member's knob values and its
+delta-metric vector. Shipping them through the result pipe as pickled
+``KnobConfiguration``/``MetricsDelta`` objects made the per-window
+payload scale with fleet size; a :class:`MemberBank` instead backs both
+with one ``float64`` block — ``multiprocessing.shared_memory`` under the
+process backend, plain arrays under the sequential backend — indexed by
+canonical member index. Workers write only their own members' rows, the
+pipe message that follows each step is the synchronisation barrier, and
+the coordinator decodes rows back into value-identical objects.
+
+The bank is pure transport: float values written on one side are read
+bit-identically on the other, so outputs stay byte-identical across
+backends and worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["MemberBank", "MemberBankHandle"]
+
+
+class MemberBank:
+    """Per-member ``(config values, metric values)`` rows, possibly shared.
+
+    Layout is one contiguous float64 block: an ``(n, n_config)`` matrix of
+    knob values followed by an ``(n, n_metrics)`` matrix of delta metrics,
+    both indexed by canonical member index.
+    """
+
+    def __init__(
+        self,
+        n_members: int,
+        n_config: int,
+        n_metrics: int,
+        shm: shared_memory.SharedMemory | None = None,
+        owner: bool = False,
+    ) -> None:
+        if n_members < 1 or n_config < 1 or n_metrics < 1:
+            raise ValueError("bank dimensions must be positive")
+        self.n_members = n_members
+        self.n_config = n_config
+        self.n_metrics = n_metrics
+        self._shm = shm
+        self._owner = owner
+        if shm is None:
+            self.configs = np.zeros((n_members, n_config))
+            self.metrics = np.zeros((n_members, n_metrics))
+        else:
+            flat = np.frombuffer(shm.buf, dtype=np.float64)
+            split = n_members * n_config
+            self.configs = flat[:split].reshape(n_members, n_config)
+            self.metrics = flat[
+                split : split + n_members * n_metrics
+            ].reshape(n_members, n_metrics)
+
+    @classmethod
+    def create(
+        cls, n_members: int, n_config: int, n_metrics: int, shared: bool
+    ) -> "MemberBank":
+        """Allocate a bank; *shared* selects a shared-memory backing.
+
+        The sequential backend keeps plain process-local arrays — its
+        shard workers live in the coordinator process and see the same
+        object. The process backend needs a real shared mapping: worker
+        writes must reach the coordinator without crossing the pipe.
+        """
+        if not shared:
+            return cls(n_members, n_config, n_metrics)
+        nbytes = 8 * n_members * (n_config + n_metrics)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        bank = cls(n_members, n_config, n_metrics, shm=shm, owner=True)
+        bank.configs.fill(0.0)
+        bank.metrics.fill(0.0)
+        return bank
+
+    def write(
+        self, index: int, config_values: list[float], metric_values: list[float]
+    ) -> None:
+        """Store one member's window vectors (worker side)."""
+        self.configs[index] = config_values
+        self.metrics[index] = metric_values
+
+    def config_row(self, index: int) -> list[float]:
+        """One member's knob values as python floats (coordinator side)."""
+        return self.configs[index].tolist()
+
+    def metrics_row(self, index: int) -> list[float]:
+        """One member's metric values as python floats (coordinator side)."""
+        return self.metrics[index].tolist()
+
+    def handle(self) -> "MemberBankHandle":
+        """A reference workers can carry; picklable iff shared-backed."""
+        if self._shm is None:
+            return MemberBankHandle(bank=self)
+        return MemberBankHandle(
+            name=self._shm.name,
+            n_members=self.n_members,
+            n_config=self.n_config,
+            n_metrics=self.n_metrics,
+        )
+
+    def close(self) -> None:
+        """Release this process's mapping; the owner also unlinks."""
+        if self._shm is None:
+            return
+        # Views into the buffer must die before the mapping can close.
+        self.configs = np.zeros((0, self.n_config))
+        self.metrics = np.zeros((0, self.n_metrics))
+        self._shm.close()
+        if self._owner:
+            self._shm.unlink()
+        self._shm = None
+
+
+@dataclass
+class MemberBankHandle:
+    """How a shard worker finds the bank.
+
+    Sequential backend: a direct reference to the coordinator's bank (the
+    worker shares the process). Process backend: the shared-memory block
+    name plus dimensions; ``attach()`` maps it. Under ``fork`` the handle
+    is inherited with the mapping already open; under ``spawn`` it is
+    pickled and the worker re-attaches by name.
+    """
+
+    bank: MemberBank | None = None
+    name: str | None = None
+    n_members: int = 0
+    n_config: int = 0
+    n_metrics: int = 0
+
+    def attach(self) -> MemberBank:
+        if self.bank is not None:
+            return self.bank
+        if self.name is None:
+            raise ValueError("empty MemberBankHandle")
+        # Attaching (create=False) does not register with the resource
+        # tracker on this Python line, so the creating coordinator stays
+        # the sole owner of unlink — exactly what we want.
+        shm = shared_memory.SharedMemory(name=self.name)
+        self.bank = MemberBank(
+            self.n_members, self.n_config, self.n_metrics, shm=shm
+        )
+        return self.bank

@@ -1,0 +1,163 @@
+"""Property: columnar `MemberBatch.step_window` ≡ the per-member loop.
+
+The batched engine's hard invariant is bit-identity with
+``[db.run(batch) for db, batch in ...]`` — not approximate equality:
+fleet experiments compare rendered bytes across worker counts, so a
+single ULP of drift anywhere would break the parity suite. Hypothesis
+drives both engines over arbitrary seeds, member counts, window plans
+and fault plans (config reloads, restarts with their stall/cold-cache
+fallback windows, disk degradation, crash/heal cycles), comparing
+rendered results, RNG stream positions and write-back scheduler state
+after every window.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.fleet import FleetSpec, build_member
+from repro.dbsim.batch_engine import MemberBatch
+from repro.dbsim.config import KnobConfiguration
+from repro.dbsim.engine import DatabaseCrashed
+
+_WINDOW_S = 60.0
+
+#: Per-member, per-window fault operations. Everything except "none"
+#: pushes the member onto the scalar fallback path for at least one
+#: window, so plans exercise vector/fallback mixes.
+_OPS = ("none", "reload", "restart", "degrade", "heal_disk", "crash_heal")
+
+_plans = st.lists(
+    st.lists(st.sampled_from(_OPS), min_size=1, max_size=4),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _build(seed: int, size: int):
+    spec = FleetSpec(size=size, root=seed)
+    return [build_member(spec, i) for i in range(size)]
+
+
+def _apply_op(db, op: str) -> None:
+    if op == "none":
+        return
+    if op == "reload":
+        # Tunable knob delta: applies without downtime.
+        values = db.config.as_dict()
+        values["work_mem"] = min(values["work_mem"] * 2.0, 4096.0)
+        db.apply_config(KnobConfiguration(db.catalog, values), mode="reload")
+    elif op == "restart":
+        # Restart-required knob delta within budget: stall + cold cache.
+        values = db.config.as_dict()
+        values["shared_buffers"] = max(values["shared_buffers"] * 0.5, 16.0)
+        db.apply_config(KnobConfiguration(db.catalog, values), mode="restart")
+    elif op == "degrade":
+        db.set_disk_degradation(1.5)
+    elif op == "heal_disk":
+        db.set_disk_degradation(1.0)
+    elif op == "crash_heal":
+        db.crashed = True
+        db.heal()
+
+
+def _scheduler_state(db):
+    s = db._scheduler
+    return (
+        s.dirty_backlog_mb,
+        s.wal_since_checkpoint_mb,
+        s.since_checkpoint_s,
+        s.since_vacuum_s,
+        s._active_rate_mb_s,
+        s._active_remaining_s,
+    )
+
+
+class TestBatchedEqualsLoop:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1), plan=_plans)
+    def test_bit_identical_across_fault_plans(self, seed, plan):
+        size = len(plan[0])
+        serial = _build(seed, size)
+        batched = _build(seed, size)
+        engine = MemberBatch(
+            [m.deployment.service.master for m in batched]
+        )
+        clock = 0.0
+        for ops in plan:
+            for fleet in (serial, batched):
+                for member, op in zip(fleet, ops):
+                    _apply_op(member.deployment.service.master, op)
+            serial_batches = [
+                m.workload.batch(_WINDOW_S, start_time_s=clock + m.phase_offset_s)
+                for m in serial
+            ]
+            batched_batches = [
+                m.workload.batch(_WINDOW_S, start_time_s=clock + m.phase_offset_s)
+                for m in batched
+            ]
+            serial_results = [
+                m.deployment.service.run(b)
+                for m, b in zip(serial, serial_batches)
+            ]
+            batched_results = engine.step_window(batched_batches)
+            for a, b in zip(serial_results, batched_results):
+                assert repr(a) == repr(b)
+            for a, b in zip(serial, batched):
+                da = a.deployment.service.master
+                db = b.deployment.service.master
+                assert da.clock_s == db.clock_s
+                assert repr(_scheduler_state(da)) == repr(_scheduler_state(db))
+                assert (
+                    da._rng.bit_generator.state == db._rng.bit_generator.state
+                )
+                assert (
+                    a.workload._rng.bit_generator.state
+                    == b.workload._rng.bit_generator.state
+                )
+            clock += _WINDOW_S
+
+    def test_crashed_member_raises_like_serial_loop(self):
+        serial = _build(3, 3)
+        batched = _build(3, 3)
+        engine = MemberBatch([m.deployment.service.master for m in batched])
+        for fleet in (serial, batched):
+            fleet[1].deployment.service.master.crashed = True
+        serial_batches = [
+            m.workload.batch(_WINDOW_S, start_time_s=m.phase_offset_s)
+            for m in serial
+        ]
+        batched_batches = [
+            m.workload.batch(_WINDOW_S, start_time_s=m.phase_offset_s)
+            for m in batched
+        ]
+        serial_exc = None
+        try:
+            for m, b in zip(serial, serial_batches):
+                m.deployment.service.run(b)
+        except DatabaseCrashed as exc:
+            serial_exc = exc
+        assert serial_exc is not None
+        try:
+            engine.step_window(batched_batches)
+        except DatabaseCrashed as exc:
+            assert str(exc) == str(serial_exc)
+        else:  # pragma: no cover - failure branch
+            raise AssertionError("batched path did not raise")
+        # Members before the crash advanced identically in both engines.
+        assert (
+            serial[0].deployment.service.master.clock_s
+            == batched[0].deployment.service.master.clock_s
+            == _WINDOW_S
+        )
+        # Members after the crash did not advance.
+        assert batched[2].deployment.service.master.clock_s == 0.0
+
+    def test_member_count_mismatch_rejected(self):
+        fleet = _build(0, 2)
+        engine = MemberBatch([m.deployment.service.master for m in fleet])
+        try:
+            engine.step_window([])
+        except ValueError as exc:
+            assert "one batch per member" in str(exc)
+        else:  # pragma: no cover - failure branch
+            raise AssertionError("mismatched batch list accepted")

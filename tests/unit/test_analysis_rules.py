@@ -29,7 +29,7 @@ class TestRegistry:
     def test_all_builtin_rules_registered(self):
         ids = [cls.id for cls in all_rules()]
         assert ids == [
-            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
         ]
 
     def test_get_rule_unknown_raises(self):
@@ -684,6 +684,73 @@ class TestR007RecorderMustThread:
             """,
             relpath="repro/core/mod.py",
             select=["R007"],
+        )
+        assert findings == []
+
+
+class TestR008NoSnapshotInLoop:
+    def test_bad_repository_pickled_in_window_loop(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import pickle
+
+            def broadcast(repository, windows, conns):
+                for _ in range(windows):
+                    payload = pickle.dumps(repository)
+                    for conn in conns:
+                        conn.send_bytes(payload)
+            """,
+            select=["R008"],
+        )
+        assert rules_hit(findings) == {"R008"}
+        assert len(findings) == 1  # nested loops don't double-report
+        assert "repository" in findings[0].message
+        assert findings[0].line == 6
+
+    def test_bad_attribute_access_in_while_loop(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import pickle
+
+            def pump(self):
+                while True:
+                    blob = pickle.dumps(("state", self.repository))
+                    yield blob
+            """,
+            select=["R008"],
+        )
+        assert rules_hit(findings) == {"R008"}
+
+    def test_good_snapshot_outside_loop(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import pickle
+
+            def setup(repository, conns):
+                snapshot = pickle.dumps(repository)
+                for conn in conns:
+                    conn.send_bytes(snapshot)
+            """,
+            select=["R008"],
+        )
+        assert findings == []
+
+    def test_good_delta_pickle_in_loop(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import pickle
+
+            def broadcast(deltas, conns):
+                for delta in deltas:
+                    payload = pickle.dumps(delta)
+                    for conn in conns:
+                        conn.send_bytes(payload)
+            """,
+            select=["R008"],
         )
         assert findings == []
 
