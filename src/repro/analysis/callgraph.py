@@ -1,0 +1,99 @@
+"""Approximate call graph over the :class:`~repro.analysis.project.ProjectIndex`.
+
+Edges come from the dataflow pass's resolved :class:`CallEvent`s, so the
+graph inherits the same best-effort resolution (imports, module-local
+names, ``self.method``, constructor-typed locals). Two deliberate
+over-approximations keep shard reachability sound for the deep rules:
+
+* A **constructor call edges to every method of the class**, not just
+  ``__init__`` — a factory returning ``Worker(spec, idx)`` hands the
+  executor an object whose ``step``/``close`` will run in the shard
+  process, even though no call site for them is visible in the project.
+* ``fleet_session(factory, ...)`` / ``map(fn, ...)`` callables recorded
+  as :class:`ShardEntryEvent`s are exposed via :meth:`shard_entries`, so
+  rules can seed reachability from the worker side of the pipe.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.dataflow import ProjectAnalysis, ShardEntryEvent
+
+__all__ = ["CallGraph"]
+
+
+class CallGraph:
+    """Directed caller → callee graph keyed by qualified names."""
+
+    def __init__(self) -> None:
+        self.edges: dict[str, set[str]] = defaultdict(set)
+        self.reverse: dict[str, set[str]] = defaultdict(set)
+        #: (entry-owning function qname, event) pairs.
+        self.entries: list[tuple[str, ShardEntryEvent]] = []
+
+    @classmethod
+    def from_analysis(cls, analysis: ProjectAnalysis) -> "CallGraph":
+        graph = cls()
+        index = analysis.index
+        for qname, facts in analysis.facts.items():
+            for call in facts.calls:
+                if call.callee is None:
+                    continue
+                if call.is_constructor:
+                    cls_info = index.classes.get(call.callee)
+                    if cls_info is None:
+                        continue
+                    for method_qname in cls_info.methods.values():
+                        graph.add_edge(qname, method_qname)
+                elif call.callee in index.functions:
+                    graph.add_edge(qname, call.callee)
+            for entry in facts.shard_entries:
+                graph.entries.append((qname, entry))
+                graph._add_entry_edges(index, entry)
+        return graph
+
+    def _add_entry_edges(self, index: object, entry: ShardEntryEvent) -> None:
+        # The factory/map-fn itself runs in the shard; make it reachable
+        # from a synthetic shard root so rules can ask one question.
+        self.add_edge(_SHARD_ROOT, entry.factory)
+
+    def add_edge(self, caller: str, callee: str) -> None:
+        self.edges[caller].add(callee)
+        self.reverse[callee].add(caller)
+
+    def callees(self, qname: str) -> frozenset[str]:
+        return frozenset(self.edges.get(qname, ()))
+
+    def callers(self, qname: str) -> frozenset[str]:
+        return frozenset(self.reverse.get(qname, ()))
+
+    def reachable(self, roots: Iterable[str]) -> frozenset[str]:
+        """All qnames reachable from *roots* (roots included)."""
+        seen: set[str] = set()
+        stack = list(roots)
+        while stack:
+            qname = stack.pop()
+            if qname in seen:
+                continue
+            seen.add(qname)
+            stack.extend(self.edges.get(qname, ()))
+        return frozenset(seen)
+
+    def shard_reachable(self) -> frozenset[str]:
+        """Functions that may execute inside a shard/worker process.
+
+        Seeded from every recorded shard entry (``fleet_session``
+        factories and ``map`` functions) and closed over call edges —
+        including the constructor → all-methods expansion, so a worker
+        class's ``step`` is shard-reachable through its factory.
+        """
+        out = self.reachable([_SHARD_ROOT])
+        return frozenset(q for q in out if q != _SHARD_ROOT)
+
+    def shard_entry_events(self) -> Iterator[tuple[str, ShardEntryEvent]]:
+        yield from self.entries
+
+
+_SHARD_ROOT = "<shard>"

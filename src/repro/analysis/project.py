@@ -1,0 +1,296 @@
+"""Whole-program view for the ``--deep`` interprocedural rules.
+
+The per-file rules (R001–R008) see one :class:`ParsedModule` at a time;
+the shard-divergence rules (R009–R012) need to follow a value across
+function and module boundaries — an RNG built in a driver and smuggled
+into a shard spec, a helper that mutates whatever repository it is
+handed. This module supplies the project-level substrate:
+
+* :func:`module_name` maps a lint-relative path to a dotted module name
+  (``src/repro/parallel/reduce.py`` → ``repro.parallel.reduce``).
+* :class:`ProjectIndex` is the symbol table: every function, method and
+  class in the analyzed file set, keyed by qualified name, plus
+  resolution of module-local names and imported names back to index
+  entries.
+* :class:`ProjectContext` bundles the index with the dataflow analysis
+  and approximate call graph, built **once per lint run** — the deep
+  rules only read it. When the linted paths do not include the ``repro``
+  package itself (linting a fixture corpus, say), the installed package
+  sources are parsed into the index too, so calls into
+  ``repro.parallel`` / ``repro.obs`` still resolve.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # circular at runtime only: the engine builds the context
+    from repro.analysis.callgraph import CallGraph
+    from repro.analysis.dataflow import ProjectAnalysis
+    from repro.analysis.engine import ParsedModule
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ProjectIndex",
+    "ProjectContext",
+    "module_name",
+]
+
+
+def module_name(relpath: PurePosixPath) -> str:
+    """Dotted module name for *relpath*.
+
+    Anchors at the last path component named ``repro`` when present (so
+    ``src/repro/x.py``, ``repro/x.py`` and an absolute site-packages
+    path all normalize to ``repro.x``); other files — test fixtures,
+    scripts — keep their full relative dotted path. ``__init__.py``
+    names the package itself.
+    """
+    parts = list(relpath.parts)
+    if "repro" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("repro"):]
+    if parts and parts[-1].endswith(".py"):
+        last = parts[-1][: -len(".py")]
+        parts = parts[:-1] if last == "__init__" else parts[:-1] + [last]
+    return ".".join(part for part in parts if part and part != "/")
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qname: str
+    module: "ParsedModule"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: Owning class qname for methods, ``None`` for plain functions.
+    class_qname: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_qname is not None
+
+    @property
+    def params(self) -> tuple[str, ...]:
+        """Positional parameter names, ``self`` included for methods."""
+        args = self.node.args
+        return tuple(a.arg for a in (*args.posonlyargs, *args.args))
+
+    def param_index(self, name: str) -> int | None:
+        try:
+            return self.params.index(name)
+        except ValueError:
+            return None
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class definition: its methods by bare name."""
+
+    qname: str
+    module: "ParsedModule"
+    node: ast.ClassDef
+    methods: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def init_qname(self) -> str | None:
+        return self.methods.get("__init__")
+
+
+Symbol = Union[FunctionInfo, ClassInfo]
+
+
+class ProjectIndex:
+    """Symbol table over a set of parsed modules."""
+
+    def __init__(self, modules: Sequence["ParsedModule"]) -> None:
+        #: Module dotted name -> parsed module.
+        self.modules: dict[str, "ParsedModule"] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        for module in modules:
+            name = module_name(module.relpath)
+            if name in self.modules:
+                continue  # first writer wins (linted copy over package copy)
+            self.modules[name] = module
+            self._index_body(module, name, module.tree.body, None)
+
+    def _index_body(
+        self,
+        module: "ParsedModule",
+        prefix: str,
+        body: Sequence[ast.stmt],
+        class_info: ClassInfo | None,
+    ) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qname = f"{prefix}.{node.name}"
+                info = FunctionInfo(
+                    qname=qname,
+                    module=module,
+                    node=node,
+                    class_qname=class_info.qname if class_info else None,
+                )
+                self.functions[qname] = info
+                if class_info is not None:
+                    class_info.methods[node.name] = qname
+                # Nested defs resolve for the call graph but are not
+                # methods of any class.
+                self._index_body(module, qname, node.body, None)
+            elif isinstance(node, ast.ClassDef):
+                qname = f"{prefix}.{node.name}"
+                cls = ClassInfo(qname=qname, module=module, node=node)
+                self.classes[qname] = cls
+                self._index_body(module, qname, node.body, cls)
+
+    def lookup(self, qname: str) -> Symbol | None:
+        """The function or class registered under *qname*, if any."""
+        return self.functions.get(qname) or self.classes.get(qname)
+
+    def canonical(self, qname: str) -> str:
+        """Definition qname for *qname*, following re-exports.
+
+        ``from repro.parallel import FleetExecutor`` yields the alias
+        ``repro.parallel.FleetExecutor``; the class is defined as
+        ``repro.parallel.executor.FleetExecutor``. This walks package
+        ``__init__`` import maps (bounded, cycle-safe) until it lands on
+        an indexed symbol; a trailing ``.method`` segment is carried
+        through a class re-export. Unresolvable names pass unchanged, so
+        stdlib qnames stay usable as table keys.
+        """
+        resolved = self._canonical_symbol(qname)
+        if resolved is not None:
+            return resolved
+        head, _, tail = qname.rpartition(".")
+        if head:
+            cls = self._canonical_symbol(head)
+            if cls is not None and cls in self.classes:
+                return f"{cls}.{tail}"
+        return qname
+
+    def _canonical_symbol(self, qname: str) -> str | None:
+        seen: set[str] = set()
+        current = qname
+        while current not in seen:
+            seen.add(current)
+            if current in self.functions or current in self.classes:
+                return current
+            head, _, tail = current.rpartition(".")
+            module = self.modules.get(head)
+            if module is None:
+                return None
+            requalified = module.imports.qualify(ast.Name(id=tail))
+            if requalified is None:
+                return None
+            current = requalified
+        return None
+
+    def resolve_name(self, module: "ParsedModule", name: str) -> str | None:
+        """Resolve bare *name* in *module* to a project qname.
+
+        Tries module-local definitions first, then the module's imports
+        (``from repro.cloud.fleet import FleetSpec`` makes ``FleetSpec``
+        resolve to ``repro.cloud.fleet.FleetSpec``), following package
+        re-exports to the definition. Returns ``None`` for names the
+        project does not define.
+        """
+        local = f"{module_name(module.relpath)}.{name}"
+        if local in self.functions or local in self.classes:
+            return local
+        qualified = module.imports.qualify(ast.Name(id=name))
+        if qualified is not None:
+            definition = self.canonical(qualified)
+            if self.lookup(definition) is not None:
+                return definition
+        return None
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        yield from self.functions.values()
+
+
+#: Package modules always folded into the index: the determinism seams
+#: the deep rules resolve against (executors, reducers, recorders, RNG
+#: helpers, fleet specs). When linting ``src/`` these are already in the
+#: module set and the fill-in is a no-op; when linting a fixture corpus
+#: they supply the class/function definitions that make ``out =
+#: MetricsRegistry()`` or ``executor.fleet_session(...)`` resolvable.
+_SEAM_MODULES = (
+    "common/rng.py",
+    "cloud/fleet.py",
+    "parallel/__init__.py",
+    "parallel/executor.py",
+    "parallel/reduce.py",
+    "obs/__init__.py",
+    "obs/metrics.py",
+    "obs/trace.py",
+)
+
+
+def _package_files() -> list[Path]:
+    """Determinism-seam sources of the installed ``repro`` package."""
+    import repro
+
+    pkg_file = getattr(repro, "__file__", None)
+    if pkg_file is None:
+        return []
+    pkg_dir = Path(pkg_file).resolve().parent
+    return [
+        path
+        for rel in _SEAM_MODULES
+        if (path := pkg_dir / rel).is_file()
+    ]
+
+
+class ProjectContext:
+    """Everything the deep rules read: index, dataflow facts, call graph.
+
+    Build with :meth:`build`; the dataflow fixpoint and call graph are
+    computed eagerly (once), so per-module rule dispatch is cheap.
+    """
+
+    def __init__(
+        self, index: ProjectIndex, analysis: "ProjectAnalysis", graph: "CallGraph"
+    ) -> None:
+        self.index = index
+        self.analysis = analysis
+        self.graph = graph
+
+    @classmethod
+    def build(
+        cls,
+        modules: Sequence["ParsedModule"],
+        parser: Callable[[Path], object] | None = None,
+    ) -> "ProjectContext":
+        """Build the whole-program context over *modules*.
+
+        *parser* is the engine's parse callable (``path -> ParsedModule
+        or Finding``); when given, any ``repro`` package sources missing
+        from *modules* are parsed and added so interprocedural
+        resolution sees the real executor/reducer/rng definitions even
+        when only a fixture tree is being linted.
+        """
+        from repro.analysis.callgraph import CallGraph
+        from repro.analysis.dataflow import ProjectAnalysis
+        from repro.analysis.engine import ParsedModule
+
+        all_modules = list(modules)
+        if parser is not None:
+            have = {m.path.resolve() for m in all_modules}
+            for path in _package_files():
+                if path in have:
+                    continue
+                parsed = parser(path)
+                if isinstance(parsed, ParsedModule):
+                    all_modules.append(parsed)
+        index = ProjectIndex(all_modules)
+        analysis = ProjectAnalysis(index)
+        graph = CallGraph.from_analysis(analysis)
+        return cls(index, analysis, graph)

@@ -1,0 +1,446 @@
+"""Interprocedural determinism rules: R009–R012 (``--deep`` only).
+
+These rules read the whole-program :class:`ProjectContext` — the symbol
+index, the taint dataflow facts/summaries and the approximate call graph
+— to catch the shard-divergence bugs the per-file rules cannot see:
+
+* **R009 shard-state-mutation** — code that runs inside a shard/worker
+  process (reachable from a ``fleet_session`` factory or executor
+  ``map`` function) mutating coordinator-owned state: the spec object
+  handed across the pipe, anything stored from it, or a module global.
+  Serial runs see the mutation; parallel runs lose or diverge on it.
+* **R010 unordered-iteration-feeding-reduce** — set/dict iteration
+  order reaching a canonical-order merge sink
+  (``merge_member_outputs`` / ``MetricsRegistry.merge`` /
+  ``TraceRecorder.absorb``) without an explicit ``sorted(...)``.
+* **R011 float-accumulation-order** — bare ``sum()`` / ``+=`` over
+  values that arrive in worker-completion order (``as_completed``,
+  ``imap_unordered``, ``multiprocessing.connection.wait``): float
+  addition is not associative, so the total differs run to run.
+* **R012 rng-crosses-shard-unsubstreamed** — a live RNG generator
+  crossing a shard boundary (``FleetSpec`` construction,
+  ``fleet_session``, executor ``map``). Generators must cross as integer
+  ``stream_root`` values and be re-derived per member via ``substream``;
+  a pickled generator replays the *same* stream in every shard and
+  breaks the worker-count parity invariant.
+
+Each rule reports both **direct** evidence (a tagged value reaching a
+sink inside the linted function) and **summary** evidence (the linted
+function passing its own data into a callee whose summary says that
+parameter reaches a sink/boundary/accumulation), so the finding lands at
+the call site in the linted file even when the sink lives in a helper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow import (
+    CallEvent,
+    FunctionFacts,
+    FunctionSummary,
+    Root,
+    Tag,
+)
+from repro.analysis.engine import ParsedModule
+from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectContext
+from repro.analysis.registry import DeepRule, register
+
+__all__ = [
+    "ShardStateMutationRule",
+    "UnorderedReduceRule",
+    "FloatAccumulationOrderRule",
+    "RngCrossesShardRule",
+]
+
+_ORDER_TAGS = frozenset({Tag.UNORDERED, Tag.SHARD_RAW})
+
+
+def _module_facts(
+    module: ParsedModule, project: ProjectContext
+) -> Iterator[FunctionFacts]:
+    """Facts for functions defined in *module*."""
+    yield from project.analysis.facts_for_module(str(module.relpath))
+
+
+def _callee_summary(
+    project: ProjectContext, call: CallEvent
+) -> tuple[FunctionSummary, int, str] | None:
+    """(summary, param offset, display name) for a resolved call."""
+    if call.callee is None:
+        return None
+    index = project.index
+    if call.is_constructor:
+        cls = index.classes.get(call.callee)
+        init = cls.init_qname if cls else None
+        if init is None:
+            return None
+        summary = project.analysis.summaries.get(init)
+        return None if summary is None else (summary, 1, call.callee)
+    summary = project.analysis.summaries.get(call.callee)
+    if summary is None:
+        return None
+    info = index.functions.get(call.callee)
+    offset = 1 if info is not None and info.is_method else 0
+    return (summary, offset, call.callee)
+
+
+def _call_args(
+    call: CallEvent,
+) -> Iterator[tuple[int, frozenset[Root], frozenset[Tag]]]:
+    """(positional index, roots, tags) for each positional argument."""
+    for pos, (roots, tags) in enumerate(zip(call.arg_roots, call.arg_tags)):
+        yield pos, roots, tags
+
+
+@dataclass
+class _ShardTaint:
+    """Coordinator-owned state, traced from shard entry points.
+
+    ``params[qname]`` — parameter indices of *qname* bound to
+    coordinator-owned objects when it runs inside a shard (the spec a
+    ``fleet_session`` factory receives, the item an executor ``map``
+    function receives, and everything those are passed on to).
+    ``attrs[class_qname]`` — attributes assigned from such a value
+    (``self.spec = spec`` in a worker ``__init__``).
+    """
+
+    params: dict[str, set[int]] = field(default_factory=dict)
+    attrs: dict[str, set[str]] = field(default_factory=dict)
+    reachable: frozenset[str] = frozenset()
+
+    def tainted_roots(self, qname: str, facts: FunctionFacts) -> set[Root]:
+        out: set[Root] = set()
+        for i in self.params.get(qname, ()):
+            out.add(Root("param", i))
+        cls = facts.info.class_qname
+        if cls is not None:
+            for attr in self.attrs.get(cls, ()):
+                out.add(Root("self", attr))
+        return out
+
+
+def _build_shard_taint(project: ProjectContext) -> _ShardTaint:
+    """Fixpoint: propagate coordinator-ownership from shard entries."""
+    taint = _ShardTaint(reachable=project.graph.shard_reachable())
+    index = project.index
+    for _owner, entry in project.graph.shard_entry_events():
+        if entry.factory in index.functions:
+            taint.params.setdefault(entry.factory, set()).add(0)
+        elif entry.factory in index.classes:
+            init = index.classes[entry.factory].init_qname
+            if init is not None:  # constructor arg 0 is __init__ param 1
+                taint.params.setdefault(init, set()).add(1)
+    for _ in range(len(index.functions) + 1):
+        if not _taint_pass(project, taint):
+            break
+    return taint
+
+
+def _taint_pass(project: ProjectContext, taint: _ShardTaint) -> bool:
+    changed = False
+    analysis = project.analysis
+    index = project.index
+    for qname in taint.reachable:
+        facts = analysis.facts.get(qname)
+        if facts is None:
+            continue
+        tainted = taint.tainted_roots(qname, facts)
+        if not tainted:
+            continue
+        # Values stored onto self from a tainted source taint the attr.
+        cls = facts.info.class_qname
+        if cls is not None:
+            for attr, roots in facts.self_attr_roots.items():
+                if roots & tainted:
+                    attrs = taint.attrs.setdefault(cls, set())
+                    if attr not in attrs:
+                        attrs.add(attr)
+                        changed = True
+        # Passing a tainted value into a project callee taints the
+        # receiving parameter (constructor arg 0 -> __init__ param 1).
+        for call in facts.calls:
+            if call.callee is None:
+                continue
+            if call.is_constructor:
+                cls_info = index.classes.get(call.callee)
+                init = cls_info.init_qname if cls_info else None
+                if init is None:
+                    continue
+                target, offset = init, 1
+            else:
+                if call.callee not in index.functions:
+                    continue
+                info = index.functions[call.callee]
+                target, offset = call.callee, 1 if info.is_method else 0
+            callee_info = index.functions.get(target)
+            for pos, roots, _tags in _call_args(call):
+                if not (set(roots) & tainted):
+                    continue
+                params = taint.params.setdefault(target, set())
+                if pos + offset not in params:
+                    params.add(pos + offset)
+                    changed = True
+            for kw_name, kw_roots in zip(call.kw_names, call.kw_roots):
+                if kw_name is None or not (set(kw_roots) & tainted):
+                    continue
+                if callee_info is None:
+                    continue
+                kw_index = callee_info.param_index(kw_name)
+                if kw_index is None:
+                    continue
+                params = taint.params.setdefault(target, set())
+                if kw_index not in params:
+                    params.add(kw_index)
+                    changed = True
+    return changed
+
+
+class _ProjectCache:
+    """Per-rule-instance cache of derived project state (one lint run)."""
+
+    def __init__(self) -> None:
+        self._key: int | None = None
+        self._taint: _ShardTaint | None = None
+
+    def shard_taint(self, project: ProjectContext) -> _ShardTaint:
+        if self._key != id(project) or self._taint is None:
+            self._taint = _build_shard_taint(project)
+            self._key = id(project)
+        return self._taint
+
+
+@register
+class ShardStateMutationRule(DeepRule):
+    """R009: never mutate coordinator-owned state inside a shard.
+
+    A shard worker receives the coordinator's spec (and whatever the
+    factory stores from it) by pickling — one copy per worker process.
+    Mutating that copy, or rebinding a module global, takes effect in
+    *that worker only*: a serial run sees the mutation, a 4-worker run
+    sees a quarter of it, and parity breaks. Workers must treat received
+    state as read-only and report results through their return values
+    (the sanctioned pattern snapshots first:
+    ``pickle.loads(pickle.dumps(spec.repository))``).
+    """
+
+    id = "R009"
+    title = "no mutation of coordinator-owned state in shard code"
+
+    def __init__(self) -> None:
+        self._cache = _ProjectCache()
+
+    def check_deep(
+        self, module: ParsedModule, project: ProjectContext
+    ) -> Iterator[Finding]:
+        taint = self._cache.shard_taint(project)
+        for facts in _module_facts(module, project):
+            qname = facts.info.qname
+            if qname not in taint.reachable:
+                continue
+            tainted = taint.tainted_roots(qname, facts)
+            params = facts.info.params
+            for mutation in facts.mutations:
+                flagged = [
+                    root
+                    for root in mutation.roots
+                    if root.kind == "global" or root in tainted
+                ]
+                if not flagged:
+                    continue
+                origin = ", ".join(
+                    sorted(root.describe(params) for root in flagged)
+                )
+                yield self.finding(
+                    module,
+                    mutation.line,
+                    mutation.col,
+                    f"`{facts.info.name}` runs in shard workers (reached "
+                    f"from a fleet entry point) but {mutation.desc}, "
+                    f"mutating coordinator-owned state ({origin}); each "
+                    "worker mutates its own pickled copy, so serial and "
+                    "parallel runs diverge — snapshot first or return the "
+                    "change through the shard output",
+                )
+
+
+@register
+class UnorderedReduceRule(DeepRule):
+    """R010: sort before feeding a canonical-order merge.
+
+    ``merge_member_outputs``, ``MetricsRegistry.merge`` and
+    ``TraceRecorder.absorb`` define the canonical event order of a run;
+    feeding them values drawn from set/dict iteration (or straight from
+    worker-completion order) makes that order an accident of hashing or
+    scheduling. Iterate ``sorted(...)`` instead.
+    """
+
+    id = "R010"
+    title = "no unordered iteration feeding a canonical-order merge"
+
+    def check_deep(
+        self, module: ParsedModule, project: ProjectContext
+    ) -> Iterator[Finding]:
+        seen: set[tuple[int, int]] = set()
+        for facts in _module_facts(module, project):
+            for sink in facts.sinks:
+                tags = sink.tags & _ORDER_TAGS
+                if tags and (sink.line, sink.col) not in seen:
+                    seen.add((sink.line, sink.col))
+                    yield self.finding(
+                        module,
+                        sink.line,
+                        sink.col,
+                        f"{sink.desc} carries {_order_desc(tags)}; the "
+                        "merge order becomes nondeterministic — iterate "
+                        "`sorted(...)` before merging",
+                    )
+            for call in facts.calls:
+                resolved = _callee_summary(project, call)
+                if resolved is None:
+                    continue
+                summary, offset, name = resolved
+                if not summary.merge_params:
+                    continue
+                for pos, _roots, tags in _call_args(call):
+                    order = tags & _ORDER_TAGS
+                    if (
+                        pos + offset in summary.merge_params
+                        and order
+                        and (call.line, call.col) not in seen
+                    ):
+                        seen.add((call.line, call.col))
+                        yield self.finding(
+                            module,
+                            call.line,
+                            call.col,
+                            f"argument {pos} of `{call.desc}` reaches a "
+                            f"canonical-order merge inside `{name}` but "
+                            f"carries {_order_desc(order)} — iterate "
+                            "`sorted(...)` before merging",
+                        )
+
+
+@register
+class FloatAccumulationOrderRule(DeepRule):
+    """R011: no bare float accumulation over worker-ordered values.
+
+    Float addition is not associative: ``sum()`` or ``+=`` over results
+    arriving in worker-completion order (``as_completed``,
+    ``imap_unordered``, ``connection.wait``) produces a different total
+    on every run. Collect results, order them by a stable key, then
+    reduce — or use ``math.fsum`` where only the total matters.
+    """
+
+    id = "R011"
+    title = "no order-sensitive accumulation over worker-order values"
+
+    def check_deep(
+        self, module: ParsedModule, project: ProjectContext
+    ) -> Iterator[Finding]:
+        seen: set[tuple[int, int]] = set()
+        for facts in _module_facts(module, project):
+            for accum in facts.accums:
+                if (accum.line, accum.col) in seen:
+                    continue
+                seen.add((accum.line, accum.col))
+                yield self.finding(
+                    module,
+                    accum.line,
+                    accum.col,
+                    f"{accum.desc}: float addition is not associative, so "
+                    "the result depends on worker scheduling — sort "
+                    "results by a stable key before reducing (or use "
+                    "`math.fsum`)",
+                )
+            for call in facts.calls:
+                resolved = _callee_summary(project, call)
+                if resolved is None:
+                    continue
+                summary, offset, name = resolved
+                if not summary.accum_params:
+                    continue
+                for pos, _roots, tags in _call_args(call):
+                    if (
+                        pos + offset in summary.accum_params
+                        and Tag.SHARD_RAW in tags
+                        and (call.line, call.col) not in seen
+                    ):
+                        seen.add((call.line, call.col))
+                        yield self.finding(
+                            module,
+                            call.line,
+                            call.col,
+                            f"argument {pos} of `{call.desc}` is accumulated "
+                            f"inside `{name}` but arrives in worker-"
+                            "completion order — sort results by a stable "
+                            "key before reducing",
+                        )
+
+
+@register
+class RngCrossesShardRule(DeepRule):
+    """R012: RNGs cross shard boundaries as roots, not generators.
+
+    The parity invariant requires every shard to derive its members'
+    streams from spawn keys: an integer ``stream_root`` crosses the
+    pickle boundary and each member calls ``substream(root, "member",
+    i)``. Passing a live generator into a ``FleetSpec`` or executor call
+    replays the same stream in every worker and couples draw order to
+    sharding.
+    """
+
+    id = "R012"
+    title = "RNG must cross shard boundaries via stream_root/substream"
+
+    def check_deep(
+        self, module: ParsedModule, project: ProjectContext
+    ) -> Iterator[Finding]:
+        seen: set[tuple[int, int]] = set()
+        for facts in _module_facts(module, project):
+            for boundary in facts.boundaries:
+                if Tag.RNG in boundary.tags and (
+                    boundary.line,
+                    boundary.col,
+                ) not in seen:
+                    seen.add((boundary.line, boundary.col))
+                    yield self.finding(
+                        module,
+                        boundary.line,
+                        boundary.col,
+                        f"`{boundary.arg}` passed into `{boundary.boundary}` "
+                        "carries a live RNG generator; cross the shard "
+                        "boundary with an integer `stream_root(seed)` and "
+                        "re-derive per member via `substream(root, ...)`",
+                    )
+            for call in facts.calls:
+                resolved = _callee_summary(project, call)
+                if resolved is None:
+                    continue
+                summary, offset, name = resolved
+                if not summary.boundary_params:
+                    continue
+                for pos, _roots, tags in _call_args(call):
+                    if (
+                        pos + offset in summary.boundary_params
+                        and Tag.RNG in tags
+                        and (call.line, call.col) not in seen
+                    ):
+                        seen.add((call.line, call.col))
+                        yield self.finding(
+                            module,
+                            call.line,
+                            call.col,
+                            f"argument {pos} of `{call.desc}` crosses a "
+                            f"shard boundary inside `{name}` but carries a "
+                            "live RNG generator — pass `stream_root(seed)` "
+                            "and `substream` per member instead",
+                        )
+
+
+def _order_desc(tags: frozenset[Tag]) -> str:
+    if Tag.SHARD_RAW in tags:
+        return "worker-completion order"
+    return "set/dict iteration order"

@@ -10,6 +10,7 @@ fault-free chaos run is byte-identical to an unshimmed one.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.cloud.monitoring import MonitoringAgent
@@ -142,7 +143,9 @@ class FaultyAdapter(DatabaseAdapter):
         self.flavor = inner.flavor
         self._node_targets: dict[int, str] = {}
 
-    def register_service(self, service_id: str, nodes) -> None:
+    def register_service(
+        self, service_id: str, nodes: Iterable[SimulatedDatabase]
+    ) -> None:
         """Map *nodes* (an iterable of databases) to *service_id*."""
         for node in nodes:
             self._node_targets[id(node)] = service_id

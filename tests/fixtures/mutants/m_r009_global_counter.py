@@ -1,0 +1,31 @@
+# repro-mutant: R009
+"""Seeded parity bug: shard code counts progress in a module global.
+
+``_note_progress`` rebinds ``WINDOWS_DONE`` and is reached from the
+executor ``map`` function, so it runs inside worker processes — each
+process increments its *own* copy of the global, the coordinator's stays
+at zero, and anything keyed off the counter (flush cadence, sampling)
+behaves differently serial vs parallel.
+"""
+
+from repro.parallel.executor import FleetExecutor
+
+WINDOWS_DONE = 0
+
+
+def _note_progress():
+    global WINDOWS_DONE
+    WINDOWS_DONE += 1  # BUG: incremented per worker process, lost on exit
+
+
+def _simulate(item):
+    member, window = item
+    sample = member.observe(window)
+    _note_progress()
+    return (member.index, sample)
+
+
+def run(members, windows, workers):
+    executor = FleetExecutor(workers=workers)
+    items = [(m, w) for m in members for w in windows]
+    return sorted(executor.map(_simulate, items))

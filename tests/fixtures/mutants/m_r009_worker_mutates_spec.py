@@ -1,0 +1,46 @@
+# repro-mutant: R009
+"""Seeded parity bug: the shard worker mutates the coordinator's spec.
+
+``ShardWorker.step`` appends every decoded sample straight to
+``self.spec.repository`` — the repository snapshot that crossed the
+pickle boundary at session setup. Serially there is one repository and
+the mutation sticks; with N workers each process grows its own private
+copy and the coordinator's repository never changes, so tuning decisions
+diverge by worker count. The fixed code snapshots first
+(``pickle.loads(pickle.dumps(spec.repository))``) and returns samples
+through the shard output.
+"""
+
+from repro.cloud.fleet import build_member
+from repro.parallel.executor import FleetExecutor
+from repro.parallel.reduce import merge_member_outputs
+
+
+class ShardWorker:
+    """One shard's slice of the fleet (mutant copy of the fig09 worker)."""
+
+    def __init__(self, spec, indices):
+        self.spec = spec
+        self.indices = list(indices)
+        self.members = {i: build_member(spec.fleet, i) for i in self.indices}
+
+    def step(self, window):
+        outs = []
+        for index in self.indices:
+            sample = self.members[index].observe(window)
+            self.spec.repository.add(sample)  # BUG: coordinator-owned state
+            outs.append((index, sample))
+        return outs
+
+    def close(self):
+        self.members.clear()
+
+
+def shard_factory(spec, indices):
+    return ShardWorker(spec, indices)
+
+
+def run_windows(spec, windows, workers):
+    executor = FleetExecutor(workers=workers)
+    with executor.fleet_session(shard_factory, spec, spec.fleet.size) as session:
+        return [merge_member_outputs(session.step(window)) for window in windows]

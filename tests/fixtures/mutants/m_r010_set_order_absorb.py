@@ -1,0 +1,18 @@
+# repro-mutant: R010
+"""Seeded parity bug: trace fragments absorbed in set-iteration order.
+
+Deduplicating shard trace fragments through a ``set`` before absorbing
+them destroys the canonical event order: set iteration order depends on
+hash seeding, so the golden-trace digest changes run to run. The fixed
+code dedupes with an order-preserving dict and absorbs
+``sorted(fragments, key=...)``.
+"""
+
+from repro.obs.trace import TraceRecorder
+
+
+def stitch_fragments(fragments):
+    root = TraceRecorder()
+    for fragment in set(fragments):  # BUG: hash order
+        root.absorb(fragment)
+    return root

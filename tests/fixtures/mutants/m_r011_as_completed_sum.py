@@ -1,0 +1,17 @@
+# repro-mutant: R011
+"""Seeded parity bug: throughput summed in completion order.
+
+``sum()`` over ``as_completed`` futures adds shard throughputs in
+whatever order workers finish. Float addition is not associative, so the
+total's low bits — and every figure derived from it — change with
+scheduling. The fixed code gathers results, sorts by shard index, then
+reduces.
+"""
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+
+def total_throughput(shards):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(shard.run) for shard in shards]
+        return sum(f.result() for f in as_completed(futures))  # BUG

@@ -1,0 +1,23 @@
+# repro-mutant: R011
+"""Seeded parity bug: pipe payloads accumulated in arrival order.
+
+The drain loop adds shard totals as ``multiprocessing.connection.wait``
+hands connections back — arrival order, which depends on OS scheduling.
+``acc`` picks up a different rounding trajectory every run. The fixed
+code stores ``(shard_index, value)`` pairs and reduces after sorting.
+"""
+
+from multiprocessing.connection import wait
+
+
+def drain_totals(connections):
+    acc = 0.0
+    pending = list(connections)
+    while pending:
+        for conn in wait(pending):
+            payload = conn.recv()
+            if payload is None:
+                pending.remove(conn)
+            else:
+                acc += payload  # BUG: arrival order
+    return acc

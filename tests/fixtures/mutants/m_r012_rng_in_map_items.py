@@ -1,0 +1,24 @@
+# repro-mutant: R012
+"""Seeded parity bug: derived generators shipped as ``map`` items.
+
+Each item carries a ``derive_rng`` generator built *on the coordinator*;
+pickling a generator into a worker freezes its state at ship time, and
+the member→worker assignment decides which coordinator-side draw order
+each stream saw before shipping. The fixed code sends ``(index, root)``
+integer pairs and derives inside the worker via ``substream``.
+"""
+
+from repro.common.rng import derive_rng, make_rng
+from repro.parallel.executor import FleetExecutor
+
+
+def _simulate(item):
+    index, rng = item
+    return (index, float(rng.normal()))
+
+
+def run(n_members, workers):
+    parent = make_rng(123)
+    items = [(i, derive_rng(parent, str(i))) for i in range(n_members)]
+    executor = FleetExecutor(workers=workers)
+    return executor.map(_simulate, items)  # BUG: generators in items

@@ -1,0 +1,36 @@
+# repro-mutant: R012
+"""Seeded parity bug: a live generator is pickled into the shard spec.
+
+The spec dict carries ``make_rng(7)`` across the session boundary. Every
+worker unpickles the *same* generator state, so all shards replay one
+stream — and the draw sequence any member sees depends on how members
+were partitioned. The fixed code ships ``stream_root(7)`` (an int) and
+each worker derives per-member streams with ``substream(root, "member",
+i)``.
+"""
+
+from repro.common.rng import make_rng
+from repro.parallel.executor import FleetExecutor
+
+
+class _Worker:
+    def __init__(self, spec, indices):
+        self.rng = spec["rng"]
+        self.indices = list(indices)
+
+    def step(self, window):
+        return [(i, float(self.rng.normal())) for i in self.indices]
+
+    def close(self):
+        return None
+
+
+def shard_factory(spec, indices):
+    return _Worker(spec, indices)
+
+
+def run(windows, workers, n_members):
+    spec = {"seed": 7, "rng": make_rng(7)}  # BUG: generator crosses pickle
+    executor = FleetExecutor(workers=workers)
+    with executor.fleet_session(shard_factory, spec, n_members) as session:
+        return [session.step(window) for window in windows]

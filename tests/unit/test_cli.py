@@ -73,6 +73,27 @@ class TestCLI:
         assert (rerun / "trace.jsonl").read_text() == jsonl
         assert (rerun / "trace.chrome.json").read_text() == chrome
 
+    def test_trace_default_out_lands_in_artifacts_dir(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        # No --out: artifacts go under artifacts/, never the repo root,
+        # and the directory is created on demand.
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "chaos", "--seed", "3"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "artifacts" / "trace.jsonl").is_file()
+        assert (tmp_path / "artifacts" / "trace.chrome.json").is_file()
+        assert not (tmp_path / "trace.jsonl").exists()
+
+    def test_trace_out_creates_parent_directories(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        out_base = tmp_path / "deep" / "nested" / "trace"
+        assert main(["trace", "chaos", "--out", str(out_base)]) == 0
+        capsys.readouterr()
+        assert out_base.with_suffix(".jsonl").is_file()
+
     def test_trace_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["trace", "fig99"])

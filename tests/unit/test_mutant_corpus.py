@@ -1,0 +1,87 @@
+"""The divergence-mutant corpus: every seeded parity bug must be flagged.
+
+`tests/fixtures/mutants/` holds fixture copies of real executor/reducer
+code with injected bugs that break byte-identical parity across worker
+counts — bugs that, before the interprocedural analyzer, only the
+runtime serial-vs-parallel byte-diff in CI could catch. Each mutant file
+declares the rule that must fire via a `# repro-mutant: RNNN` marker.
+
+This suite is the analyzer's ground truth:
+
+* **no false negatives** — `repro lint --deep` flags every mutant with
+  its marked rule, in that file;
+* **shallow blindness** — R001–R008 stay silent on the corpus, proving
+  these bugs genuinely require whole-program analysis;
+* **corpus depth** — at least two mutants per deep rule.
+"""
+
+import re
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Linter
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+MUTANT_DIR = REPO_ROOT / "tests" / "fixtures" / "mutants"
+_MARKER = re.compile(r"#\s*repro-mutant:\s*(R\d{3})")
+
+DEEP_RULES = ("R009", "R010", "R011", "R012")
+
+
+def _mutants() -> dict[Path, str]:
+    """Mutant file -> rule id that must fire on it."""
+    out = {}
+    for path in sorted(MUTANT_DIR.glob("m_*.py")):
+        match = _MARKER.search(path.read_text())
+        assert match, f"{path.name} is missing its '# repro-mutant:' marker"
+        out[path] = match.group(1)
+    return out
+
+
+@pytest.fixture(scope="module")
+def deep_findings():
+    """One deep lint run over the whole corpus (index built once)."""
+    linter = Linter(root=REPO_ROOT, deep=True)
+    return linter.lint_paths([MUTANT_DIR])
+
+
+class TestCorpusShape:
+    def test_at_least_two_mutants_per_deep_rule(self):
+        counts = Counter(_mutants().values())
+        for rule in DEEP_RULES:
+            assert counts[rule] >= 2, f"{rule} has {counts[rule]} mutant(s)"
+
+    def test_markers_only_name_deep_rules(self):
+        assert set(_mutants().values()) <= set(DEEP_RULES)
+
+
+class TestNoFalseNegatives:
+    def test_every_mutant_flagged_by_its_rule(self, deep_findings):
+        by_file = {}
+        for finding in deep_findings:
+            by_file.setdefault(finding.path.name, set()).add(finding.rule)
+        for path, rule in _mutants().items():
+            hit = by_file.get(path.name, set())
+            assert rule in hit, (
+                f"{path.name}: expected {rule}, deep lint found {sorted(hit)}"
+            )
+
+    def test_findings_stay_inside_the_corpus(self, deep_findings):
+        # Self-contained mutants: the bug is reported in the mutant file,
+        # never displaced into the repro package the corpus imports.
+        for finding in deep_findings:
+            assert "mutants" in finding.path.parts, finding.render()
+
+    def test_no_offmark_rules_fire(self, deep_findings):
+        expected = _mutants()
+        by_file = {p.name: r for p, r in expected.items()}
+        for finding in deep_findings:
+            assert finding.rule == by_file[finding.path.name], finding.render()
+
+
+class TestShallowBlindness:
+    def test_shallow_rules_silent_on_corpus(self):
+        linter = Linter(root=REPO_ROOT)  # deep off: R001-R008 only
+        assert linter.lint_paths([MUTANT_DIR]) == []
