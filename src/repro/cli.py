@@ -276,6 +276,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="parallel worker processes (the two landscapes run "
         "concurrently; the report is byte-identical either way)",
     )
+    chaos.add_argument(
+        "--profile", choices=("standard", "adversarial"), default="standard",
+        help="standard: the six-kind fault recovery experiment; "
+        "adversarial: a rogue tuner versus the safety governor "
+        "(bounded steps, canary-on-slave, auto-revert)",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -507,6 +513,18 @@ def _dispatch(argv: Sequence[str] | None) -> int:
     if args.command == "chaos":
         # Imported lazily like the analysis package: the chaos harness
         # pulls in the whole faults layer.
+        if args.profile == "adversarial":
+            from repro.experiments import chaos_adversarial
+
+            adversarial = chaos_adversarial.run(
+                fleet_size=args.fleet_size,
+                windows=args.windows,
+                seed=args.seed,
+                quick=args.quick,
+                workers=args.workers,
+            )
+            print(adversarial.render(), end="")
+            return 0
         from repro.experiments import chaos_recovery
 
         report = chaos_recovery.run(

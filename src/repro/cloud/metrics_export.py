@@ -12,10 +12,32 @@ scrape target in integration environments.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+
 from repro.cloud.monitoring import MonitoringAgent
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["render_agent_metrics", "render_counters", "render_registry"]
+__all__ = [
+    "describe_counter_families",
+    "render_agent_metrics",
+    "render_counters",
+    "render_registry",
+]
+
+
+def describe_counter_families(
+    registry: MetricsRegistry, families: Mapping[str, str]
+) -> None:
+    """Declare *families* (name -> help text) as counters on *registry*.
+
+    Scrapers discover a family from its ``# HELP``/``# TYPE`` header, so
+    exporters declare their whole vocabulary up front — e.g. the safety
+    governor's ``SAFETY_METRIC_FAMILIES`` — and
+    :func:`render_registry` then renders the headers even before (or
+    without) any increment landing.
+    """
+    for name, help_text in families.items():
+        registry.describe(name, "counter", help_text)
 
 
 def _sanitise_label(value: str) -> str:

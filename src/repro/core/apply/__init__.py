@@ -7,14 +7,18 @@ from repro.core.apply.adapters import (
     PostgresAdapter,
     adapter_for,
 )
-from repro.core.apply.dfa import ApplyReport, DataFederationAgent
+from repro.core.apply.dfa import ApplyReport, CanaryContext, DataFederationAgent
 from repro.core.apply.nontunable import DowntimeDecision, NonTunableKnobPolicy
 from repro.core.apply.orchestrator import (
     AlreadyRegistered,
     DowntimeWindow,
     ServiceOrchestrator,
 )
-from repro.core.apply.reconciler import ReconcileAction, Reconciler
+from repro.core.apply.reconciler import (
+    ConfigIncidentLog,
+    ReconcileAction,
+    Reconciler,
+)
 from repro.core.apply.restart import (
     ApplyStrategy,
     FullRestartStrategy,
@@ -27,6 +31,8 @@ __all__ = [
     "AlreadyRegistered",
     "ApplyReport",
     "ApplyStrategy",
+    "CanaryContext",
+    "ConfigIncidentLog",
     "DataFederationAgent",
     "DatabaseAdapter",
     "DowntimeDecision",

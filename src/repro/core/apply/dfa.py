@@ -23,13 +23,36 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cloud.monitoring import MonitoringAgent
 from repro.common.recording import NULL_RECORDER, Recorder
 from repro.core.apply.adapters import DatabaseAdapter, NodeApplyResult, adapter_for
 from repro.dbsim.config import KnobConfiguration
-from repro.dbsim.engine import SimulatedDatabase
+from repro.dbsim.engine import DatabaseCrashed, SimulatedDatabase
 from repro.dbsim.replication import ReplicatedService
+from repro.workloads.generator import WorkloadBatch
 
-__all__ = ["ApplyReport", "DataFederationAgent"]
+__all__ = ["ApplyReport", "CanaryContext", "DataFederationAgent"]
+
+
+@dataclass
+class CanaryContext:
+    """Inputs for a canary-on-slave evaluation (safe online tuning).
+
+    When passed to :meth:`DataFederationAgent.apply`, the first slave
+    becomes a canary: it replays *batch* under the incumbent config,
+    then under the candidate, and the candidate is only promoted to the
+    remaining nodes if its throughput reaches ``threshold`` times the
+    incumbent's. Both replays' telemetry is ingested into *monitor*
+    (the §2 external-monitoring seam) and the throughput comparison is
+    read back from that series, so the decision flows through the same
+    pipeline every other observer uses. Replaying the same batch twice
+    on the same node makes the comparison self-calibrating: cold-cache
+    and background-writer state affect both runs alike.
+    """
+
+    batch: WorkloadBatch
+    monitor: MonitoringAgent | None = None
+    threshold: float = 0.85
 
 
 @dataclass
@@ -48,6 +71,14 @@ class ApplyReport:
     backoff_s: float = 0.0
     #: True when the apply was abandoned on the deadline, not a crash.
     deadline_exceeded: bool = False
+    #: True when a canary phase ran on the first slave.
+    canary_evaluated: bool = False
+    #: True when the canary comparison rejected the candidate.
+    canary_rejected: bool = False
+    #: Canary throughput under the incumbent config (tps).
+    canary_baseline_tps: float = 0.0
+    #: Canary throughput under the candidate config (tps).
+    canary_tps: float = 0.0
 
 
 class DataFederationAgent:
@@ -134,6 +165,7 @@ class DataFederationAgent:
         config: KnobConfiguration,
         mode: str = "reload",
         instance_id: str = "",
+        canary: CanaryContext | None = None,
     ) -> ApplyReport:
         """Apply *config* slave-first; reject on any slave crash.
 
@@ -144,19 +176,32 @@ class DataFederationAgent:
         abandons the apply the same way a slave crash does, rolling
         already-updated slaves back.
 
+        With a :class:`CanaryContext` (and at least one slave), the
+        first slave is evaluated as a canary before anything else is
+        touched; a candidate that fails the throughput comparison is
+        rejected with ``rejected_at="canary"`` and the canary slave is
+        restored to the incumbent config. Without slaves the canary
+        phase is skipped (there is nothing to sacrifice).
+
         *instance_id* only labels trace spans and metrics — the service
         itself carries no identity, so callers that have one pass it in.
         """
         with self.recorder.span(
             "dfa.apply", instance=instance_id, mode=mode
         ) as span:
-            report = self._apply(service, config, mode, instance_id)
+            report = self._apply(service, config, mode, instance_id, canary)
             span.set(
                 applied=report.applied,
                 rejected_at=report.rejected_at,
                 attempts=report.attempts,
                 nodes_updated=report.nodes_updated,
             )
+            if report.canary_evaluated:
+                span.set(
+                    canary_rejected=report.canary_rejected,
+                    canary_baseline_tps=report.canary_baseline_tps,
+                    canary_tps=report.canary_tps,
+                )
         outcome = (
             "applied"
             if report.applied
@@ -165,11 +210,97 @@ class DataFederationAgent:
         self.recorder.inc(
             "repro_applies_total", instance=instance_id, outcome=outcome
         )
+        if report.canary_rejected:
+            self.recorder.inc(
+                "repro_canary_rejections_total", instance=instance_id
+            )
         if report.backoff_s > 0.0:
             self.recorder.observe(
                 "repro_apply_backoff_seconds", report.backoff_s
             )
         return report
+
+    def _canary(
+        self,
+        adapter: DatabaseAdapter,
+        service: ReplicatedService,
+        config: KnobConfiguration,
+        mode: str,
+        report: ApplyReport,
+        canary: CanaryContext,
+        instance_id: str,
+    ) -> bool:
+        """Evaluate *config* on the first slave; True means promote.
+
+        The incumbent replay runs first (the slave already carries that
+        config), the candidate replay second; ordering is fixed so the
+        comparison is deterministic. Any crash — during the apply or
+        either replay — is a definitive rejection, mirroring §4's
+        slave-crash semantics; the slave is healed and restored.
+        """
+        node = service.slaves[0]
+        previous = service.master.config
+        report.canary_evaluated = True
+
+        def replay() -> float | None:
+            try:
+                result = node.run(canary.batch)
+            except DatabaseCrashed:
+                return None
+            if canary.monitor is not None:
+                canary.monitor.ingest(result)
+                return canary.monitor.throughput.values[-1]
+            return result.throughput
+
+        baseline_tps = replay()
+        if baseline_tps is None:
+            node.heal()
+            report.healed_slaves.append(0)
+            report.rejected_at = "canary"
+            report.error = "canary slave crashed replaying the incumbent"
+            return False
+        report.canary_baseline_tps = baseline_tps
+
+        result = self._apply_node(
+            adapter, node, config, mode, report, "slave0", instance_id
+        )
+        if result.crashed or not result.ok:
+            if result.crashed:
+                node.heal()
+                report.healed_slaves.append(0)
+            report.rejected_at = "slave0"
+            report.error = result.error
+            report.deadline_exceeded = not result.crashed
+            return False
+        report.skipped_restart_required = result.skipped_restart_required
+
+        candidate_tps = replay()
+        if candidate_tps is None:
+            node.heal()
+            report.healed_slaves.append(0)
+            adapter.apply(node, previous, mode="reload")
+            report.rejected_at = "canary"
+            report.error = "canary slave crashed under the candidate config"
+            return False
+        report.canary_tps = candidate_tps
+
+        if candidate_tps < canary.threshold * baseline_tps:
+            report.canary_rejected = True
+            report.rejected_at = "canary"
+            report.error = (
+                f"canary regression: {candidate_tps:.1f} tps < "
+                f"{canary.threshold:.2f} x {baseline_tps:.1f} tps"
+            )
+            self.recorder.event(
+                "dfa.canary_reject",
+                instance=instance_id,
+                baseline_tps=baseline_tps,
+                candidate_tps=candidate_tps,
+            )
+            adapter.apply(node, previous, mode="reload")
+            return False
+        report.nodes_updated += 1
+        return True
 
     def _apply(
         self,
@@ -177,11 +308,20 @@ class DataFederationAgent:
         config: KnobConfiguration,
         mode: str,
         instance_id: str,
+        canary: CanaryContext | None = None,
     ) -> ApplyReport:
         adapter = self._resolve_adapter(service)
         report = ApplyReport(applied=False)
         previous = service.master.config
+        canaried = canary is not None and bool(service.slaves)
+        if canaried and canary is not None:
+            if not self._canary(
+                adapter, service, config, mode, report, canary, instance_id
+            ):
+                return report
         for index, slave in enumerate(service.slaves):
+            if canaried and index == 0:
+                continue  # the canary slave already carries the candidate
             result = self._apply_node(
                 adapter, slave, config, mode, report, f"slave{index}", instance_id
             )

@@ -17,13 +17,33 @@ can never wedge the reconciler in an unbounded loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 from repro.common.recording import NULL_RECORDER, Recorder
 from repro.core.apply.adapters import DatabaseAdapter, adapter_for
 from repro.core.apply.orchestrator import ServiceOrchestrator
+from repro.dbsim.config import KnobConfiguration
 from repro.dbsim.replication import ReplicatedService
 
-__all__ = ["ReconcileAction", "Reconciler"]
+__all__ = ["ConfigIncidentLog", "ReconcileAction", "Reconciler"]
+
+
+class ConfigIncidentLog(Protocol):
+    """Quarantine seam the safety governor implements.
+
+    Reconciliation restores whatever persistence holds — but persistence
+    can briefly hold a config the governor just auto-reverted (the
+    promotion was persisted in the same window the regression was
+    observed, or the revert apply itself failed). Restoring it would
+    undo the revert, so the reconciler asks the incident log first and
+    applies the replacement instead.
+    """
+
+    def quarantined_replacement(
+        self, instance_id: str, config: KnobConfiguration, now_s: float
+    ) -> KnobConfiguration | None:
+        """Replacement for quarantined *config*, or ``None`` if clean."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -54,6 +74,11 @@ class Reconciler:
     max_attempts_per_node:
         Adapter applies per node per tick before giving up until the
         next tick — the hard bound that keeps reconciliation finite.
+    incident_log:
+        Optional :class:`ConfigIncidentLog` (the safety governor).
+        When the persisted config is under quarantine there, the tick
+        re-persists and restores the incident's replacement instead of
+        re-applying a just-reverted config.
     """
 
     def __init__(
@@ -63,6 +88,7 @@ class Reconciler:
         adapter: DatabaseAdapter | None = None,
         max_attempts_per_node: int = 2,
         recorder: Recorder | None = None,
+        incident_log: ConfigIncidentLog | None = None,
     ) -> None:
         if watcher_timeout_s <= 0:
             raise ValueError("watcher_timeout_s must be positive")
@@ -73,6 +99,7 @@ class Reconciler:
         self.max_attempts_per_node = max_attempts_per_node
         self._adapter = adapter
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.incident_log = incident_log
         self._drift_since: dict[str, float] = {}
 
     def tick(
@@ -80,6 +107,23 @@ class Reconciler:
     ) -> ReconcileAction:
         """One watch cycle for *instance_id* at simulated time *now_s*."""
         persisted = self.orchestrator.persisted_config(instance_id)
+        if self.incident_log is not None:
+            replacement = self.incident_log.quarantined_replacement(
+                instance_id, persisted, now_s
+            )
+            if replacement is not None:
+                # Persistence holds a config the governor reverted within
+                # its quarantine window: converge on the restored config,
+                # never back onto the reverted one.
+                self.orchestrator.persist_config(instance_id, replacement)
+                persisted = replacement
+                self.recorder.event(
+                    "reconcile.quarantine_swap", instance=instance_id
+                )
+                self.recorder.inc(
+                    "repro_reconcile_quarantine_swaps_total",
+                    instance=instance_id,
+                )
         drifted = service.master.config != persisted or not service.configs_consistent()
         if not drifted:
             self._drift_since.pop(instance_id, None)

@@ -12,17 +12,33 @@ from repro.core.director.load_balancer import (
     NoHealthyTuners,
     TunerInstance,
 )
+from repro.core.director.safety import (
+    REVERT_SOURCE,
+    SAFETY_METRIC_FAMILIES,
+    BoundedMove,
+    GovernorPolicy,
+    RevertDecision,
+    SafetyGovernor,
+    SafetyIncident,
+)
 
 __all__ = [
     "FALLBACK_SOURCE",
+    "REVERT_SOURCE",
+    "SAFETY_METRIC_FAMILIES",
+    "BoundedMove",
     "BreakerPolicy",
     "BreakerState",
     "CircuitBreaker",
     "ConfigDirector",
     "ConfigRepository",
     "ConfigVersion",
+    "GovernorPolicy",
     "LeastLoadedBalancer",
     "NoHealthyTuners",
+    "RevertDecision",
+    "SafetyGovernor",
+    "SafetyIncident",
     "SplitRecommendation",
     "TunerInstance",
 ]

@@ -27,12 +27,13 @@ from dataclasses import dataclass, field
 from repro.cloud.monitoring import MonitoringAgent
 from repro.cloud.provisioner import ServiceDeployment
 from repro.common.recording import NULL_RECORDER, Recorder
-from repro.core.apply.dfa import ApplyReport, DataFederationAgent
+from repro.core.apply.dfa import ApplyReport, CanaryContext, DataFederationAgent
 from repro.core.apply.nontunable import NonTunableKnobPolicy
 from repro.core.apply.orchestrator import ServiceOrchestrator
 from repro.core.apply.reconciler import Reconciler
 from repro.core.director.config_director import ConfigDirector, SplitRecommendation
 from repro.core.director.load_balancer import LeastLoadedBalancer, TunerInstance
+from repro.core.director.safety import GovernorPolicy, SafetyGovernor
 from repro.core.tde.engine import TDEReport, ThrottlingDetectionEngine
 from repro.dbsim.engine import DatabaseCrashed, ExecutionResult
 from repro.dbsim.memory import HOT_FRACTION
@@ -58,6 +59,8 @@ class ManagedInstance:
     apply_mode: str = "split"
     since_last_periodic_s: float = 0.0
     throughput_history: list[float] = field(default_factory=list)
+    #: Telemetry sink for canary-slave evaluations (governed mode only).
+    canary_monitor: MonitoringAgent | None = None
 
     @property
     def instance_id(self) -> str:
@@ -75,6 +78,8 @@ class StepOutcome:
     split: SplitRecommendation | None = None
     apply_report: ApplyReport | None = None
     downtime_taken: bool = False
+    #: True when the safety governor reverted this instance's config.
+    reverted: bool = False
 
 
 class AutoDBaaS:
@@ -90,6 +95,7 @@ class AutoDBaaS:
         dfa: DataFederationAgent | None = None,
         monitoring_factory: Callable[[str], MonitoringAgent] | None = None,
         recorder: Recorder | None = None,
+        governor: GovernorPolicy | None = None,
     ) -> None:
         if not tuners:
             raise ValueError("need at least one tuner instance")
@@ -109,7 +115,21 @@ class AutoDBaaS:
         self.orchestrator = ServiceOrchestrator(
             downtime_period_s, recorder=self.recorder
         )
-        self.reconciler = Reconciler(self.orchestrator, recorder=self.recorder)
+        # Safe online tuning is opt-in: with no policy the governor stays
+        # None and every apply/tuning path is byte-identical to the
+        # ungoverned build.
+        self.governor = (
+            SafetyGovernor(
+                self.director.configs, policy=governor, recorder=self.recorder
+            )
+            if governor is not None
+            else None
+        )
+        self.reconciler = Reconciler(
+            self.orchestrator,
+            recorder=self.recorder,
+            incident_log=self.governor,
+        )
         # Injection seams for the fault layer (repro.faults): a custom DFA
         # carries a faulty adapter, a custom monitoring factory produces
         # gap-dropping agents. Defaults reproduce the fault-free service.
@@ -165,6 +185,13 @@ class AutoDBaaS:
             policy=policy,
             periodic_interval_s=periodic_interval_s,
             apply_mode=apply_mode,
+            canary_monitor=(
+                MonitoringAgent(
+                    f"{instance_id}/canary", retention_s=4.0 * self.window_s
+                )
+                if self.governor is not None
+                else None
+            ),
         )
         self.instances[instance_id] = managed
         self.orchestrator.register(deployment)
@@ -236,6 +263,28 @@ class AutoDBaaS:
         managed.monitoring.ingest(result)
         managed.throughput_history.append(result.throughput)
 
+        if self.governor is not None and managed.policy != "monitor":
+            # Feed the watch before this window's tuning decision: a
+            # promotion that regressed is reverted to the last-known-good
+            # config right now, not after another recommendation lands.
+            decision = self.governor.observe_window(
+                instance_id,
+                service.master.config,
+                result.throughput,
+                self.clock_s,
+            )
+            if decision is not None:
+                outcome.reverted = True
+                revert_report = self.dfa.apply(
+                    service, decision.config, instance_id=instance_id
+                )
+                if revert_report.applied:
+                    self.orchestrator.persist_config(
+                        instance_id, service.master.config
+                    )
+                else:
+                    self.governor.revert_failed(instance_id)
+
         # The TDE reads the window through the monitoring agent (§2's
         # external monitoring), so telemetry gaps reach it as missing
         # series and it degrades instead of inspecting stale data.
@@ -266,9 +315,30 @@ class AutoDBaaS:
                 target = split.reloadable.fitted_to_budget(
                     master.vm.db_memory_limit_mb, master.active_connections
                 )
-                outcome.apply_report = self.dfa.apply(
-                    service, target, instance_id=instance_id
-                )
+                if self.governor is not None:
+                    move = self.governor.bound(
+                        instance_id, master.config, target, self.clock_s
+                    )
+                    outcome.apply_report = self.dfa.apply(
+                        service,
+                        move.config,
+                        instance_id=instance_id,
+                        canary=CanaryContext(
+                            batch=batch,
+                            monitor=managed.canary_monitor,
+                            threshold=self.governor.policy.canary_threshold,
+                        ),
+                    )
+                    if outcome.apply_report.canary_rejected:
+                        self.governor.note_canary_rejection(instance_id)
+                    if outcome.apply_report.applied:
+                        self.governor.note_promotion(
+                            instance_id, service.master.config, self.clock_s
+                        )
+                else:
+                    outcome.apply_report = self.dfa.apply(
+                        service, target, instance_id=instance_id
+                    )
             if outcome.apply_report.applied:
                 self.orchestrator.persist_config(
                     instance_id, service.master.config

@@ -30,6 +30,7 @@ from repro.core.apply.adapters import adapter_for
 from repro.core.apply.dfa import DataFederationAgent
 from repro.core.apply.reconciler import Reconciler
 from repro.core.director.breaker import BreakerPolicy
+from repro.core.director.safety import GovernorPolicy
 from repro.core.service import AutoDBaaS
 from repro.dbsim.knobs import postgres_catalog
 from repro.experiments.common import offline_train
@@ -45,7 +46,7 @@ from repro.parallel import FleetExecutor
 from repro.tuners.ottertune import OtterTuneTuner
 from repro.workloads.tpcc import TPCCWorkload
 
-__all__ = ["WindowPoint", "ChaosReport", "run"]
+__all__ = ["STANDARD_KINDS", "WindowPoint", "ChaosReport", "run"]
 
 #: Recovery bar: the faulted fleet must regain this fraction of the
 #: fault-free fleet's window throughput.
@@ -54,6 +55,19 @@ RECOVERY_THRESHOLD = 0.9
 #: Tuner deployments behind the balancer (two, so an outage has a
 #: failover path before the breaker forces last-known-good fallback).
 _TUNER_COUNT = 2
+
+#: The original six-kind chaos taxonomy. The standard profile compiles
+#: exactly these — pinned explicitly so that adding new fault kinds to
+#: the enum (``bad_recommendation`` drives the adversarial profile, not
+#: this one) never perturbs the standard plan's seeded draws.
+STANDARD_KINDS: tuple[FaultKind, ...] = (
+    FaultKind.TUNER_OUTAGE,
+    FaultKind.SLOW_RECOMMENDATION,
+    FaultKind.APPLY_FAILURE,
+    FaultKind.APPLY_CRASH,
+    FaultKind.TELEMETRY_GAP,
+    FaultKind.DISK_DEGRADATION,
+)
 
 
 @dataclass(frozen=True)
@@ -190,6 +204,7 @@ def _build_landscape(
     injector: FaultInjector,
     offline_configs: int,
     recorder: Recorder | None = None,
+    governor: GovernorPolicy | None = None,
 ) -> _Landscape:
     """Build one landscape; identical inputs give identical landscapes.
 
@@ -198,6 +213,8 @@ def _build_landscape(
     only where faults are actually delivered. A *recorder* (the trace
     harness) observes this landscape's control plane; with None every
     seam keeps the no-op default and behaviour is byte-identical.
+    A *governor* policy arms safe online tuning (the adversarial
+    profile runs the same landscape with and without one).
     """
     if recorder is not None:
         injector.recorder = recorder
@@ -219,6 +236,9 @@ def _build_landscape(
             ),
             injector,
             f"tuner-{i:02d}",  # matches the facade's TunerInstance ids
+            # Perturbation stream for delivered bad_recommendation events;
+            # lazily derived, so plans without them draw nothing.
+            seed=seed + 70 + i,
         )
         for i in range(_TUNER_COUNT)
     ]
@@ -238,6 +258,7 @@ def _build_landscape(
         dfa=DataFederationAgent(adapter=adapter),
         monitoring_factory=monitoring_factory,
         recorder=recorder,
+        governor=governor,
     )
     # Route the reconciler's restore path through the same (possibly
     # faulty) adapter, with a one-window watcher timeout so drift left by
@@ -247,6 +268,7 @@ def _build_landscape(
         watcher_timeout_s=window_s,
         adapter=adapter,
         recorder=recorder,
+        incident_log=service.governor,
     )
     # Trip fast and recover fast relative to the short horizon: two
     # consecutive routing failures open a tuner's breaker for two windows.
@@ -314,6 +336,8 @@ class _LandscapeTask:
     enabled: bool
     traced: bool = False
     host_time: bool = False
+    #: Arm the safety governor (adversarial profile's governed arm).
+    governor: GovernorPolicy | None = None
 
 
 @dataclass
@@ -327,6 +351,10 @@ class _LandscapeOutcome:
     fallbacks_served: int
     telemetry_gap_windows: int
     recorder: TraceRecorder | None = None
+    #: Safety-governor counters (zero when no governor was armed).
+    safety_clamps: int = 0
+    canary_rejections: int = 0
+    reverts: int = 0
 
 
 def _run_landscape_task(task: _LandscapeTask) -> _LandscapeOutcome:
@@ -339,8 +367,10 @@ def _run_landscape_task(task: _LandscapeTask) -> _LandscapeOutcome:
         FaultInjector(task.plan, enabled=task.enabled),
         task.offline_configs,
         recorder=rec,
+        governor=task.governor,
     )
     fleet_tps, degraded = _run_landscape(landscape, task.windows, task.window_s)
+    governor = landscape.service.governor
     return _LandscapeOutcome(
         fleet_tps=fleet_tps,
         degraded=degraded,
@@ -355,6 +385,11 @@ def _run_landscape_task(task: _LandscapeTask) -> _LandscapeOutcome:
             m.gap_windows for m in landscape.monitors.values()
         ),
         recorder=rec,
+        safety_clamps=governor.clamps if governor is not None else 0,
+        canary_rejections=(
+            governor.canary_rejections if governor is not None else 0
+        ),
+        reverts=governor.reverts if governor is not None else 0,
     )
 
 
@@ -395,6 +430,7 @@ def run(
         window_s=window_s,
         start_window=4,
         end_window=end_window,
+        kinds=STANDARD_KINDS,
     )
 
     traced = isinstance(recorder, TraceRecorder)

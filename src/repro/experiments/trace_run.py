@@ -18,7 +18,11 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from repro.cloud.metrics_export import render_registry
+from repro.cloud.metrics_export import (
+    describe_counter_families,
+    render_registry,
+)
+from repro.core.director.safety import SAFETY_METRIC_FAMILIES
 from repro.experiments import chaos_recovery
 from repro.experiments import fig09_requests_per_minute as fig09
 from repro.obs.export import to_chrome_trace, to_jsonl
@@ -92,6 +96,11 @@ def run(
     counts.
     """
     recorder = TraceRecorder(host_time=host_time)
+    # Declare the safety-governor vocabulary up front: the families show
+    # in the Prometheus rendering (`repro trace --metrics`) even for
+    # ungoverned runs, and described-but-empty families add no JSONL
+    # samples, so golden digests are untouched.
+    describe_counter_families(recorder.metrics, SAFETY_METRIC_FAMILIES)
     session_stats: SessionStats | None = None
     if experiment == "chaos":
         report = chaos_recovery.run(

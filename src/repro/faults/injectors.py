@@ -13,12 +13,16 @@ import dataclasses
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cloud.monitoring import MonitoringAgent
 from repro.common.recording import NULL_RECORDER, Recorder
+from repro.common.rng import derive_rng, make_rng
 from repro.common.timeseries import TimeSeries
 from repro.core.apply.adapters import DatabaseAdapter, NodeApplyResult
 from repro.dbsim.config import KnobConfiguration
 from repro.dbsim.engine import ExecutionResult, SimulatedDatabase
+from repro.dbsim.knobs import KnobClass
 from repro.dbsim.storage import DiskWindowResult
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.tuners.base import (
@@ -27,6 +31,8 @@ from repro.tuners.base import (
     Tuner,
     TunerUnavailable,
     TuningRequest,
+    config_to_vector,
+    vector_to_config,
 )
 
 __all__ = [
@@ -91,13 +97,33 @@ class FaultInjector:
 
 
 class FaultyTuner(Tuner):
-    """A tuner whose deployment suffers outages and slowdowns."""
+    """A tuner whose deployment suffers outages, slowdowns — or goes rogue.
 
-    def __init__(self, inner: Tuner, injector: FaultInjector, tuner_id: str) -> None:
+    Under an active :attr:`~repro.faults.plan.FaultKind.BAD_RECOMMENDATION`
+    event the shim lets the inner tuner answer, then adversarially
+    rewrites the recommendation: every tunable (reloadable) knob is
+    pushed toward a pathological extreme in the normalised knob space —
+    working-memory knobs toward their minimum (forcing spills), the
+    rest toward a seeded-random end of their range — scaled by the
+    event's magnitude. The perturbation RNG is derived lazily from
+    ``(seed, tuner_id)`` on the first delivered event, so a run whose
+    plan never delivers one draws nothing and stays byte-identical to
+    an unshimmed run.
+    """
+
+    def __init__(
+        self,
+        inner: Tuner,
+        injector: FaultInjector,
+        tuner_id: str,
+        seed: int = 0,
+    ) -> None:
         self.inner = inner
         self.injector = injector
         self.tuner_id = tuner_id
+        self.seed = seed
         self.name = inner.name
+        self._adversarial_rng: np.random.Generator | None = None
 
     def observe(self, sample: TrainingSample) -> None:
         self.inner.observe(sample)
@@ -114,12 +140,45 @@ class FaultyTuner(Tuner):
             raise TunerUnavailable(
                 f"injected outage: tuner {self.tuner_id} is down"
             )
-        return self.inner.recommend(request)
+        recommendation = self.inner.recommend(request)
+        event = self.injector.hit(FaultKind.BAD_RECOMMENDATION, self.tuner_id)
+        if event is not None:
+            recommendation.config = self._perturbed(
+                recommendation.config, event.magnitude
+            )
+        return recommendation
 
     def recommendation_cost_s(self) -> float:
         cost = self.inner.recommendation_cost_s()
         event = self.injector.hit(FaultKind.SLOW_RECOMMENDATION, self.tuner_id)
         return cost * event.magnitude if event is not None else cost
+
+    def _perturbed(
+        self, config: KnobConfiguration, magnitude: float
+    ) -> KnobConfiguration:
+        """Push every tunable knob toward an adversarial extreme."""
+        if self._adversarial_rng is None:
+            self._adversarial_rng = derive_rng(
+                make_rng(self.seed), self.tuner_id
+            )
+        rng = self._adversarial_rng
+        vector = config_to_vector(config)
+        target = vector.copy()
+        for i, knob in enumerate(config.catalog):
+            if knob.restart_required:
+                continue  # the reload path never moves these anyway
+            if knob.knob_class is KnobClass.MEMORY:
+                extreme = 0.0  # starve the working areas: spills everywhere
+            else:
+                extreme = 0.0 if float(rng.random()) < 0.5 else 1.0
+            target[i] = vector[i] + (extreme - vector[i]) * magnitude
+        raw = vector_to_config(target, config.catalog)
+        updates = {
+            knob.name: raw[knob.name]
+            for knob in config.catalog
+            if not knob.restart_required
+        }
+        return config.with_values(updates)
 
 
 class FaultyAdapter(DatabaseAdapter):

@@ -40,6 +40,11 @@ class FaultKind(enum.Enum):
     TELEMETRY_GAP = "telemetry_gap"
     #: The service VM's disks degrade: latency multiplied by ``magnitude``.
     DISK_DEGRADATION = "disk_degradation"
+    #: A tuner answers, but adversarially: its recommendation's tunable
+    #: knobs are pushed toward pathological extremes (working memory
+    #: starved, the rest seeded-random), ``magnitude`` (0..1) scaling how
+    #: far. The worst case safe online tuning must survive.
+    BAD_RECOMMENDATION = "bad_recommendation"
 
 
 #: Compile-time draw ranges per kind: (min duration, max duration,
@@ -51,6 +56,7 @@ _KIND_PROFILES: dict[FaultKind, tuple[float, float, float, float]] = {
     FaultKind.APPLY_CRASH: (1.0, 1.0, 1.0, 1.0),
     FaultKind.TELEMETRY_GAP: (2.0, 5.0, 1.0, 1.0),
     FaultKind.DISK_DEGRADATION: (2.0, 4.0, 2.0, 6.0),
+    FaultKind.BAD_RECOMMENDATION: (3.0, 8.0, 0.7, 1.0),
 }
 
 
@@ -145,9 +151,14 @@ class FaultPlan:
         chosen = tuple(kinds) if kinds is not None else tuple(FaultKind)
         events: list[FaultEvent] = []
         for kind in chosen:
+            tuner_kinds = (
+                FaultKind.TUNER_OUTAGE,
+                FaultKind.SLOW_RECOMMENDATION,
+                FaultKind.BAD_RECOMMENDATION,
+            )
             pool = (
                 tuple(tuner_ids)
-                if kind in (FaultKind.TUNER_OUTAGE, FaultKind.SLOW_RECOMMENDATION)
+                if kind in tuner_kinds
                 else tuple(service_ids)
             )
             if not pool:

@@ -35,6 +35,21 @@ class TestCLI:
         assert main(args) == 0
         assert capsys.readouterr().out == first
 
+    def test_chaos_adversarial_profile(self, capsys):
+        args = [
+            "chaos", "--profile", "adversarial", "--quick",
+            "--seed", "3", "--windows", "8", "--fleet-size", "1",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "adversarial chaos report" in first
+        assert "governor policy:" in first
+        assert "safety: violations_clamped=" in first
+        assert "verdict:" in first
+        # Same seed and flags must reproduce the report byte for byte.
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
     def test_trace_help(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["trace", "--help"])

@@ -102,6 +102,25 @@ class TestEmptySeries:
         assert render_registry(MetricsRegistry()) == "\n"
 
 
+class TestSafetyFamilies:
+    def test_describe_counter_families_renders_safety_headers(self):
+        from repro.cloud.metrics_export import describe_counter_families
+        from repro.core.director import SAFETY_METRIC_FAMILIES
+
+        registry = MetricsRegistry()
+        describe_counter_families(registry, SAFETY_METRIC_FAMILIES)
+        text = render_registry(registry)
+        for name in SAFETY_METRIC_FAMILIES:
+            assert f"# TYPE {name} counter\n" in text
+        # Described-but-empty families expose no samples (golden digests
+        # stay stable for ungoverned runs).
+        assert list(_parse_exposition(text)) == []
+        # A governed run's increments then render as ordinary samples.
+        registry.inc("repro_reverts_total", instance="svc-1")
+        parsed = list(_parse_exposition(render_registry(registry)))
+        assert ("repro_reverts_total", (("instance", "svc-1"),), 1.0) in parsed
+
+
 class TestHistogramRendering:
     def test_buckets_sum_count_shape(self):
         registry = MetricsRegistry()

@@ -106,6 +106,25 @@ class TestFaultPlan:
         b = FaultPlan.compile(4, ["t0", "t1"], ["s0", "s1"])
         assert a.events != b.events
 
+    def test_standard_kinds_pin_the_original_six(self):
+        """The standard chaos profile compiles the pre-BAD_RECOMMENDATION
+        kinds explicitly, so adding fault kinds never shifts its draws."""
+        from repro.experiments.chaos_recovery import STANDARD_KINDS
+
+        assert FaultKind.BAD_RECOMMENDATION not in STANDARD_KINDS
+        assert len(STANDARD_KINDS) == 6
+        plan = FaultPlan.compile(
+            3, ["t0", "t1"], ["s0", "s1"], kinds=STANDARD_KINDS
+        )
+        assert all(e.kind in STANDARD_KINDS for e in plan.events)
+
+    def test_compile_default_includes_bad_recommendation(self):
+        plan = FaultPlan.compile(3, ["t0", "t1"], ["s0", "s1"])
+        assert FaultPlan.compile(3, ["t0"], ["s0"]).by_kind(
+            FaultKind.BAD_RECOMMENDATION
+        )
+        assert len(plan) == len(FaultKind)
+
     def test_events_sorted_by_start(self):
         plan = FaultPlan.compile(9, ["t0"], ["s0"], events_per_kind=2)
         starts = [e.start_s for e in plan.events]
