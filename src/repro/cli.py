@@ -116,7 +116,7 @@ def _run_fig08(args: argparse.Namespace) -> None:
 def _run_fig09(args: argparse.Namespace) -> None:
     run = fig09_requests_per_minute.run(
         fleet_size=args.fleet_size, hours=args.hours, seed=args.seed,
-        workers=args.workers,
+        workers=args.workers, surrogate=args.surrogate,
     )
     print(
         format_table(
@@ -254,6 +254,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="parallel worker processes (fig09/fig10 only; output is "
         "byte-identical for any worker count)",
     )
+    run.add_argument(
+        "--surrogate", action="store_true",
+        help="arm the surrogate screening tier on the tuner (fig09 "
+        "only): a coreset-GP prefilter shortlists candidates before "
+        "the exact GP scores them; deterministic, off by default",
+    )
 
     demo = sub.add_parser("demo", help="run an example scenario")
     demo.add_argument("name", choices=_DEMOS)
@@ -275,6 +281,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=_positive_int, default=1,
         help="parallel worker processes (the two landscapes run "
         "concurrently; the report is byte-identical either way)",
+    )
+    chaos.add_argument(
+        "--surrogate", action="store_true",
+        help="arm surrogate candidate screening on both landscapes' "
+        "tuners (standard profile only; deterministic, off by default)",
     )
     chaos.add_argument(
         "--profile", choices=("standard", "adversarial"), default="standard",
@@ -322,6 +333,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=_positive_int, default=1,
         help="parallel worker processes; the exported trace is "
         "byte-identical for any worker count",
+    )
+    trace.add_argument(
+        "--surrogate", action="store_true",
+        help="arm surrogate candidate screening in the traced "
+        "experiment (deterministic, off by default)",
     )
 
     lint = sub.add_parser(
@@ -461,6 +477,7 @@ def _run_trace(args: argparse.Namespace) -> int:
         hours=args.hours,
         warmup_hours=args.warmup_hours,
         workers=args.workers,
+        surrogate=args.surrogate,
     )
     jsonl_path = Path(f"{args.out}.jsonl")
     chrome_path = Path(f"{args.out}.chrome.json")
@@ -533,6 +550,7 @@ def _dispatch(argv: Sequence[str] | None) -> int:
             seed=args.seed,
             quick=args.quick,
             workers=args.workers,
+            surrogate=args.surrogate,
         )
         print(report.render(), end="")
         return 0

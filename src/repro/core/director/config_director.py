@@ -25,6 +25,7 @@ from repro.core.director.load_balancer import (
 )
 from repro.dbsim.config import KnobConfiguration
 from repro.tuners.base import Recommendation, TunerUnavailable, TuningRequest
+from repro.tuners.surrogate import SurrogatePolicy
 
 __all__ = ["SplitRecommendation", "ConfigDirector"]
 
@@ -55,6 +56,7 @@ class ConfigDirector:
         config_repository: ConfigRepository | None = None,
         breaker_policy: BreakerPolicy | None = None,
         recorder: Recorder | None = None,
+        surrogate: SurrogatePolicy | None = None,
     ) -> None:
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.balancer = balancer
@@ -69,6 +71,16 @@ class ConfigDirector:
         self.request_times: list[float] = []
         self._pending_downtime: dict[str, dict[str, float]] = {}
         self._knob_floors: dict[str, dict[str, float]] = {}
+        # Surrogate screening is opt-in per tuner: candidate-set tuners
+        # adopt the policy, others (RL forward-pass) decline. With no
+        # policy (the default) nothing is configured and every output is
+        # byte-identical to builds without the surrogate tier.
+        self.surrogate_policy = surrogate
+        self.surrogate_tuners: list[str] = []
+        if surrogate is not None:
+            for instance in self.balancer.instances:
+                if instance.tuner.configure_surrogate(surrogate):
+                    self.surrogate_tuners.append(instance.instance_id)
 
     # -- request handling -----------------------------------------------------
 

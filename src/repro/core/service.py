@@ -39,6 +39,7 @@ from repro.dbsim.engine import DatabaseCrashed, ExecutionResult
 from repro.dbsim.memory import HOT_FRACTION
 from repro.tuners.base import TrainingSample, Tuner, TuningRequest
 from repro.tuners.repository import WorkloadRepository
+from repro.tuners.surrogate import SurrogatePolicy
 from repro.workloads.generator import WorkloadGenerator
 
 __all__ = ["ManagedInstance", "StepOutcome", "AutoDBaaS"]
@@ -96,6 +97,7 @@ class AutoDBaaS:
         monitoring_factory: Callable[[str], MonitoringAgent] | None = None,
         recorder: Recorder | None = None,
         governor: GovernorPolicy | None = None,
+        surrogate: SurrogatePolicy | None = None,
     ) -> None:
         if not tuners:
             raise ValueError("need at least one tuner instance")
@@ -111,7 +113,12 @@ class AutoDBaaS:
         )
         for tuner in tuners:
             tuner.bind_recorder(self.recorder)
-        self.director = ConfigDirector(self.balancer, recorder=self.recorder)
+        # Surrogate screening is opt-in like the governor: the director
+        # offers the policy to every tuner instance; with None (the
+        # default) nothing changes and outputs stay byte-identical.
+        self.director = ConfigDirector(
+            self.balancer, recorder=self.recorder, surrogate=surrogate
+        )
         self.orchestrator = ServiceOrchestrator(
             downtime_period_s, recorder=self.recorder
         )

@@ -44,6 +44,7 @@ from repro.faults.plan import FaultKind, FaultPlan
 from repro.obs.trace import TraceRecorder
 from repro.parallel import FleetExecutor
 from repro.tuners.ottertune import OtterTuneTuner
+from repro.tuners.surrogate import SurrogatePolicy
 from repro.workloads.tpcc import TPCCWorkload
 
 __all__ = ["STANDARD_KINDS", "WindowPoint", "ChaosReport", "run"]
@@ -205,6 +206,7 @@ def _build_landscape(
     offline_configs: int,
     recorder: Recorder | None = None,
     governor: GovernorPolicy | None = None,
+    surrogate: SurrogatePolicy | None = None,
 ) -> _Landscape:
     """Build one landscape; identical inputs give identical landscapes.
 
@@ -214,7 +216,9 @@ def _build_landscape(
     harness) observes this landscape's control plane; with None every
     seam keeps the no-op default and behaviour is byte-identical.
     A *governor* policy arms safe online tuning (the adversarial
-    profile runs the same landscape with and without one).
+    profile runs the same landscape with and without one). A
+    *surrogate* policy arms candidate screening on the BO tuners
+    (offered through the :class:`FaultyTuner` shims).
     """
     if recorder is not None:
         injector.recorder = recorder
@@ -259,6 +263,7 @@ def _build_landscape(
         monitoring_factory=monitoring_factory,
         recorder=recorder,
         governor=governor,
+        surrogate=surrogate,
     )
     # Route the reconciler's restore path through the same (possibly
     # faulty) adapter, with a one-window watcher timeout so drift left by
@@ -338,6 +343,8 @@ class _LandscapeTask:
     host_time: bool = False
     #: Arm the safety governor (adversarial profile's governed arm).
     governor: GovernorPolicy | None = None
+    #: Arm surrogate candidate screening on the BO tuners.
+    surrogate: SurrogatePolicy | None = None
 
 
 @dataclass
@@ -368,6 +375,7 @@ def _run_landscape_task(task: _LandscapeTask) -> _LandscapeOutcome:
         task.offline_configs,
         recorder=rec,
         governor=task.governor,
+        surrogate=task.surrogate,
     )
     fleet_tps, degraded = _run_landscape(landscape, task.windows, task.window_s)
     governor = landscape.service.governor
@@ -402,6 +410,7 @@ def run(
     recorder: Recorder | None = None,
     workers: int = 1,
     start_method: str | None = None,
+    surrogate: bool = False,
 ) -> ChaosReport:
     """Run the chaos experiment; see the module docstring.
 
@@ -412,7 +421,9 @@ def run(
     The two landscapes are fully independent, so ``workers >= 2`` runs
     them concurrently; the faulted landscape records into a fragment
     recorder that is absorbed into *recorder* afterwards, which yields
-    the same trace bytes as recording inline.
+    the same trace bytes as recording inline. *surrogate* arms
+    candidate screening on **both** landscapes' tuners (keeping the
+    baseline a fair control); default off, byte-identical output.
     """
     if quick:
         fleet_size = min(fleet_size, 2)
@@ -434,6 +445,7 @@ def run(
     )
 
     traced = isinstance(recorder, TraceRecorder)
+    screen = SurrogatePolicy() if surrogate else None
     executor = FleetExecutor(workers=workers, start_method=start_method)
     base_out, fault_out = executor.map(
         _run_landscape_task,
@@ -441,12 +453,14 @@ def run(
             _LandscapeTask(
                 seed, fleet_size, windows, window_s, offline_configs, plan,
                 enabled=False,
+                surrogate=screen,
             ),
             _LandscapeTask(
                 seed, fleet_size, windows, window_s, offline_configs, plan,
                 enabled=True,
                 traced=traced,
                 host_time=traced and recorder.host_time,  # type: ignore[union-attr]
+                surrogate=screen,
             ),
         ],
     )

@@ -375,6 +375,7 @@ def run(
     workers: int = 1,
     start_method: str | None = None,
     stats: SessionStats | None = None,
+    surrogate: bool = False,
 ) -> Fig09Run:
     """Simulate the fleet for *hours* and count tuning requests.
 
@@ -388,6 +389,9 @@ def run(
     per shard) — output is byte-identical across worker counts. *stats*,
     if given, collects the executor session's pipe-seam accounting
     (bytes and per-phase times per window) without affecting results.
+    *surrogate* arms the surrogate screening tier on the director's
+    tuner (default off; flag-off output is byte-identical to builds
+    without the tier).
     """
     rec = recorder if recorder is not None else NULL_RECORDER
     catalog = postgres_catalog()
@@ -427,11 +431,13 @@ def run(
     )
     from repro.core.director.config_director import ConfigDirector
     from repro.core.director.load_balancer import LeastLoadedBalancer, TunerInstance
+    from repro.tuners.surrogate import SurrogatePolicy
 
     tuner.bind_recorder(rec)
     director = ConfigDirector(
         LeastLoadedBalancer([TunerInstance("tuner-00", tuner)]),
         recorder=rec,
+        surrogate=SurrogatePolicy() if surrogate else None,
     )
     # The TDE reads a bounded sample of each member's streaming log; at
     # paper scale a smaller per-window sample keeps the day-long 80-member

@@ -23,6 +23,7 @@ from repro.cloud.metrics_export import (
     render_registry,
 )
 from repro.core.director.safety import SAFETY_METRIC_FAMILIES
+from repro.tuners.surrogate import SURROGATE_METRIC_FAMILIES
 from repro.experiments import chaos_recovery
 from repro.experiments import fig09_requests_per_minute as fig09
 from repro.obs.export import to_chrome_trace, to_jsonl
@@ -83,6 +84,7 @@ def run(
     hours: float = 1.0,
     warmup_hours: float = 0.5,
     workers: int = 1,
+    surrogate: bool = False,
 ) -> TraceArtifacts:
     """Trace one experiment run; see the module docstring.
 
@@ -93,18 +95,23 @@ def run(
     host times never reach the JSONL/Chrome exports, which stay
     byte-identical either way. *workers* selects the experiment's
     parallel backend; every artifact is byte-identical across worker
-    counts.
+    counts. *surrogate* arms candidate screening in the traced
+    experiment; with the default off the trace bytes are identical to
+    builds without the surrogate tier.
     """
     recorder = TraceRecorder(host_time=host_time)
-    # Declare the safety-governor vocabulary up front: the families show
-    # in the Prometheus rendering (`repro trace --metrics`) even for
-    # ungoverned runs, and described-but-empty families add no JSONL
-    # samples, so golden digests are untouched.
+    # Declare the safety-governor and surrogate vocabularies up front:
+    # the families show in the Prometheus rendering
+    # (`repro trace --metrics`) even for runs that never arm them, and
+    # described-but-empty families add no JSONL samples, so golden
+    # digests are untouched.
     describe_counter_families(recorder.metrics, SAFETY_METRIC_FAMILIES)
+    describe_counter_families(recorder.metrics, SURROGATE_METRIC_FAMILIES)
     session_stats: SessionStats | None = None
     if experiment == "chaos":
         report = chaos_recovery.run(
-            seed=seed, quick=True, recorder=recorder, workers=workers
+            seed=seed, quick=True, recorder=recorder, workers=workers,
+            surrogate=surrogate,
         )
         recovery = (
             f"window {report.recovery_window:02d}"
@@ -127,6 +134,7 @@ def run(
             recorder=recorder,
             workers=workers,
             stats=session_stats,
+            surrogate=surrogate,
         )
         headline = (
             f"fleet: size={fleet_size} hours={hours:g} "

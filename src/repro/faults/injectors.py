@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Iterable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -34,6 +35,9 @@ from repro.tuners.base import (
     config_to_vector,
     vector_to_config,
 )
+
+if TYPE_CHECKING:
+    from repro.tuners.surrogate import SurrogatePolicy
 
 __all__ = [
     "FaultInjector",
@@ -152,6 +156,15 @@ class FaultyTuner(Tuner):
         cost = self.inner.recommendation_cost_s()
         event = self.injector.hit(FaultKind.SLOW_RECOMMENDATION, self.tuner_id)
         return cost * event.magnitude if event is not None else cost
+
+    def configure_surrogate(self, policy: "SurrogatePolicy") -> bool:
+        """Forward surrogate screening to the inner tuner.
+
+        The shim only perturbs *delivered* recommendations; whether the
+        inner tuner screens its candidate set is orthogonal to fault
+        delivery, so the offer passes straight through.
+        """
+        return self.inner.configure_surrogate(policy)
 
     def _perturbed(
         self, config: KnobConfiguration, magnitude: float

@@ -11,10 +11,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.common.recording import NULL_RECORDER, Recorder
+
+if TYPE_CHECKING:
+    from repro.tuners.surrogate import SurrogatePolicy
 from repro.dbsim.config import KnobConfiguration
 from repro.dbsim.knobs import KnobCatalog
 from repro.dbsim.metrics import MetricsDelta
@@ -220,6 +224,17 @@ class Tuner(abc.ABC):
     def bind_recorder(self, recorder: Recorder) -> None:
         """Attach the landscape's recorder (wrappers forward to inners)."""
         self.recorder = recorder
+
+    def configure_surrogate(self, policy: "SurrogatePolicy") -> bool:
+        """Enable surrogate candidate screening, if this tuner can.
+
+        Returns ``True`` when the tuner adopted *policy* (candidate-set
+        tuners like the BO pipeline), ``False`` when screening does not
+        apply to its recommendation mechanism. The default declines:
+        screening is strictly opt-in per implementation, so new tuner
+        kinds stay byte-identical until they explicitly support it.
+        """
+        return False
 
     @abc.abstractmethod
     def observe(self, sample: TrainingSample) -> None:

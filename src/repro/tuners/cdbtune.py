@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -35,6 +36,9 @@ from repro.tuners.base import (
     vector_to_config,
 )
 from repro.tuners.neural import MLP, Adam, soft_update
+
+if TYPE_CHECKING:
+    from repro.tuners.surrogate import SurrogatePolicy
 
 __all__ = ["CDBTuneTuner", "cdbtune_reward"]
 
@@ -154,6 +158,17 @@ class CDBTuneTuner(Tuner):
     def observe(self, sample: TrainingSample) -> None:
         """Alias of :meth:`learn` — the RL tuner keeps no sample store."""
         self.learn(sample)
+
+    def configure_surrogate(self, policy: "SurrogatePolicy") -> bool:
+        """Decline: DDPG emits one action, there is no candidate set.
+
+        Surrogate screening prefilters a *candidate matrix* before an
+        expensive exact scorer. The RL tuner's recommendation is a single
+        actor forward pass — already near-constant time with nothing to
+        shortlist — so the policy does not apply here and the hybrid
+        tuner routes it to its BO member instead.
+        """
+        return False
 
     def learn(self, sample: TrainingSample) -> None:
         """Close the pending transition for the sample's workload and learn."""

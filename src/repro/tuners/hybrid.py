@@ -17,6 +17,7 @@ from repro.tuners.base import Recommendation, TrainingSample, Tuner, TuningReque
 from repro.tuners.cdbtune import CDBTuneTuner
 from repro.tuners.ottertune import OtterTuneTuner
 from repro.tuners.repository import WorkloadRepository
+from repro.tuners.surrogate import SurrogatePolicy
 
 __all__ = ["HybridTuner"]
 
@@ -59,6 +60,10 @@ class HybridTuner(Tuner):
         )
         self._request_counts: dict[str, int] = defaultdict(int)
         self.last_member: str | None = None
+
+    def configure_surrogate(self, policy: SurrogatePolicy) -> bool:
+        """Screen the BO member's candidates (the RL member has none)."""
+        return self.bo.configure_surrogate(policy)
 
     def observe(self, sample: TrainingSample) -> None:
         """Store once (via the BO member's repository) and learn."""

@@ -42,6 +42,7 @@ from repro.tuners.base import (
 from repro.tuners.gpr import GaussianProcessRegressor
 from repro.tuners.lasso import lasso_path_ranking
 from repro.tuners.repository import WorkloadRepository
+from repro.tuners.surrogate import SurrogatePolicy, SurrogateScreen
 from repro.tuners.workload_mapping import WorkloadMapper
 
 __all__ = ["OtterTuneTuner"]
@@ -65,6 +66,12 @@ class OtterTuneTuner(Tuner):
     memory_limit_mb / active_connections:
         If given, candidate configurations violating the §4 memory budget
         are filtered out before scoring.
+    surrogate:
+        Optional :class:`~repro.tuners.surrogate.SurrogatePolicy`. When
+        set, raw candidates are screened by a coreset-GP surrogate and
+        budget repair plus exact GP-UCB run only on the shortlist. The
+        default (``None``) leaves every output byte-identical to builds
+        without the surrogate tier.
     """
 
     name = "ottertune"
@@ -79,6 +86,7 @@ class OtterTuneTuner(Tuner):
         memory_limit_mb: float | None = None,
         active_connections: int = 20,
         seed: int | np.random.Generator | None = 0,
+        surrogate: SurrogatePolicy | None = None,
     ) -> None:
         if max_train_samples < 3:
             raise ValueError("max_train_samples must be >= 3")
@@ -101,6 +109,17 @@ class OtterTuneTuner(Tuner):
         self._gpr_cache: dict[
             str, tuple[int, GaussianProcessRegressor, np.ndarray, np.ndarray]
         ] = {}
+        self._screen = SurrogateScreen(surrogate) if surrogate else None
+
+    @property
+    def surrogate_screen(self) -> SurrogateScreen | None:
+        """The active screen, for stats inspection (``None`` when off)."""
+        return self._screen
+
+    def configure_surrogate(self, policy: SurrogatePolicy) -> bool:
+        """Enable surrogate candidate screening under *policy*."""
+        self._screen = SurrogateScreen(policy)
+        return True
 
     # -- Tuner interface ---------------------------------------------------------
 
@@ -124,7 +143,10 @@ class OtterTuneTuner(Tuner):
             return Recommendation(
                 request.instance_id, config, self.name, expected_improvement=0.0
             )
-        candidates = self._candidates(x, y)
+        if self._screen is None:
+            candidates = self._candidates(x, y)
+        else:
+            candidates = self._screened_candidates(request, gpr, x, y)
         scores = gpr.ucb(candidates, kappa=self.kappa)
         self.recorder.event(
             "tuner.surrogate",
@@ -157,6 +179,14 @@ class OtterTuneTuner(Tuner):
         n = max(self.repository.total_samples(), self._last_train_size)
         train_s = 110.0 * (n / 2000.0) ** 1.5
         scoring_s = 90.0 * (n / 2000.0)
+        if self._screen is not None:
+            # The screen hands exact scoring only the shortlist; model the
+            # scoring term shrinking by the same fraction (training cost
+            # is unchanged — the GPR still refits on every version bump).
+            total = self.n_candidates + self.n_candidates // 5
+            scoring_s *= min(
+                1.0, self._screen.policy.shortlist_size / max(total, 1)
+            )
         return 2.0 + train_s + scoring_s
 
     # -- pipeline pieces -----------------------------------------------------------
@@ -235,6 +265,10 @@ class OtterTuneTuner(Tuner):
         (working areas multiply per session) and the fallback would score
         swap-inducing configs.
         """
+        return self._repair_candidates(self._raw_candidates(x, y))
+
+    def _raw_candidates(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Unrepaired candidate matrix in normalised [0, 1]^d space."""
         d = len(self.catalog)
         n_random = self.n_candidates
         random_part = self._rng.uniform(0.0, 1.0, size=(n_random, d))
@@ -244,7 +278,10 @@ class OtterTuneTuner(Tuner):
             0.0,
             1.0,
         )
-        candidates = np.vstack([random_part, local_part])
+        return np.vstack([random_part, local_part])
+
+    def _repair_candidates(self, candidates: np.ndarray) -> np.ndarray:
+        """Batched §4 budget repair of a normalised candidate matrix."""
         if self.memory_limit_mb is None:
             return candidates
         # One batched unit->value->repair->unit round trip over the whole
@@ -258,6 +295,49 @@ class OtterTuneTuner(Tuner):
             self.active_connections,
         )
         return values_to_vectors(repaired, self.catalog)
+
+    def _screened_candidates(
+        self,
+        request: TuningRequest,
+        gpr: GaussianProcessRegressor | None,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> np.ndarray:
+        """Flag-on candidate path: raw → surrogate shortlist → repair.
+
+        The screen scores the *unrepaired* matrix — budget repair is the
+        expensive half of candidate generation, and repairing 16
+        survivors instead of 720 candidates is most of the warm-path win.
+        The screen draws only from its own keyed substreams, so
+        ``self._rng`` advances exactly as on the flag-off path.
+        """
+        assert self._screen is not None
+        raw = self._raw_candidates(x, y)
+        retrains_before = self._screen.retrains
+        keep = self._screen.shortlist(
+            request.workload_id,
+            raw,
+            gpr,
+            x,
+            y,
+            self.kappa,
+            self.repository.version,
+        )
+        if keep is not None:
+            if self._screen.retrains > retrains_before:
+                self.recorder.inc("repro_surrogate_retrains_total")
+            else:
+                self.recorder.inc("repro_surrogate_hits_total")
+            self.recorder.inc("repro_surrogate_shortlists_total")
+            self.recorder.event(
+                "tuner.shortlist",
+                instance=request.instance_id,
+                source=self.name,
+                candidates=len(raw),
+                shortlist=len(keep),
+            )
+            raw = raw[keep]
+        return self._repair_candidates(raw)
 
     def _repair(self, config: KnobConfiguration) -> KnobConfiguration:
         if self.memory_limit_mb is None:

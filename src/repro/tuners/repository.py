@@ -21,6 +21,7 @@ between a fleet experiment that finishes and one that does not.
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any
 
@@ -245,6 +246,30 @@ class WorkloadRepository:
             scale > self.exact_refresh_limit
             and self._version - cached_version < self.stale_refresh_every
         )
+
+    def derived_entry(
+        self,
+        cache: dict[Any, tuple[int, Any]],
+        key: Any,
+        scale: int,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Version-keyed get-or-compute over a derived-state cache.
+
+        The canonical consumption pattern for :attr:`derived_cache` (and
+        any private cache with the same shape): entries are ``(version,
+        payload)`` pairs, served while :meth:`fresh_enough` holds for
+        *scale* and recomputed — then tagged with the current version —
+        otherwise. *compute* must be a pure function of the repository
+        contents plus the key, so a cache hit returns exactly what
+        recomputing would (the R009 exemption these caches rely on).
+        """
+        cached = cache.get(key)
+        if cached is not None and self.fresh_enough(cached[0], scale):
+            return cached[1]
+        value = compute()
+        cache[key] = (self._version, value)
+        return value
 
     def dataset(self, workload_id: str) -> WorkloadDataset:
         """Materialise one workload's matrices (§2's X matrices).

@@ -62,19 +62,20 @@ class WorkloadMapper:
         self._cache: dict[Any, tuple[int, Any]] = cache
 
     def _bin_edges(self) -> np.ndarray | None:
-        cached = self._cache.get("edges")
-        if cached is not None and self.repository.fresh_enough(
-            cached[0], self.repository.total_samples()
-        ):
-            return cached[1]
+        edges: np.ndarray | None = self.repository.derived_entry(
+            self._cache,
+            "edges",
+            self.repository.total_samples(),
+            self._compute_edges,
+        )
+        return edges
+
+    def _compute_edges(self) -> np.ndarray | None:
         rows = self.repository.all_metric_rows()
         if len(rows) < 2:
-            edges = None
-        else:
-            quantiles = np.linspace(0.0, 1.0, self.n_bins + 1)[1:-1]
-            edges = np.quantile(rows, quantiles, axis=0)  # (n_bins-1, m)
-        self._cache["edges"] = (self.repository.version, edges)
-        return edges
+            return None
+        quantiles = np.linspace(0.0, 1.0, self.n_bins + 1)[1:-1]
+        return np.quantile(rows, quantiles, axis=0)  # (n_bins-1, m)
 
     def _binned(self, metrics: np.ndarray, edges: np.ndarray) -> np.ndarray:
         out = np.zeros_like(metrics)
@@ -94,14 +95,12 @@ class WorkloadMapper:
         without samples — or the target itself, unless
         ``exclude_target=False`` — are skipped.
         """
-        cache_key = ("map", target_id, exclude_target)
-        cached = self._cache.get(cache_key)
-        if cached is not None and self.repository.fresh_enough(
-            cached[0], self.repository.sample_count(target_id)
-        ):
-            return cached[1]
-        result = self._map_workload(target_id, exclude_target)
-        self._cache[cache_key] = (self.repository.version, result)
+        result: MappingResult = self.repository.derived_entry(
+            self._cache,
+            ("map", target_id, exclude_target),
+            self.repository.sample_count(target_id),
+            lambda: self._map_workload(target_id, exclude_target),
+        )
         return result
 
     def _capped(self, dataset: WorkloadDataset) -> WorkloadDataset:

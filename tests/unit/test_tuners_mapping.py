@@ -64,3 +64,55 @@ class TestMapping:
 
         with pytest.raises(ValueError):
             WorkloadMapper(WorkloadRepository(), n_bins=1)
+
+
+class TestMappingCache:
+    """Cluster-assignment results are version-keyed on the repository."""
+
+    def test_repeat_mapping_served_from_cache(self, pg_catalog):
+        repo = WorkloadRepository()
+        _populate(repo, pg_catalog, "target", 100.0, seed=1)
+        _populate(repo, pg_catalog, "twin", 105.0, seed=2)
+        mapper = WorkloadMapper(repo)
+        first = mapper.map_workload("target")
+        second = mapper.map_workload("target")
+        assert first is second  # identical object: no recompute happened
+
+    def test_new_sample_invalidates_mapping(self, pg_catalog):
+        repo = WorkloadRepository()
+        _populate(repo, pg_catalog, "target", 100.0, seed=1)
+        _populate(repo, pg_catalog, "twin", 105.0, seed=2)
+        mapper = WorkloadMapper(repo)
+        first = mapper.map_workload("target")
+        _populate(repo, pg_catalog, "target", 100.0, n=1, seed=9)
+        second = mapper.map_workload("target")
+        assert first is not second
+        assert second.mapped
+
+    def test_mappers_share_cache_through_repository(self, pg_catalog):
+        """Every TDE's mapper over one store reuses the same results."""
+        repo = WorkloadRepository()
+        _populate(repo, pg_catalog, "target", 100.0, seed=1)
+        _populate(repo, pg_catalog, "twin", 105.0, seed=2)
+        first = WorkloadMapper(repo).map_workload("target")
+        second = WorkloadMapper(repo).map_workload("target")
+        assert first is second
+
+    def test_distinct_nbins_do_not_share_entries(self, pg_catalog):
+        repo = WorkloadRepository()
+        _populate(repo, pg_catalog, "target", 100.0, seed=1)
+        _populate(repo, pg_catalog, "twin", 105.0, seed=2)
+        coarse = WorkloadMapper(repo, n_bins=4).map_workload("target")
+        fine = WorkloadMapper(repo, n_bins=10).map_workload("target")
+        assert coarse is not fine
+        assert coarse.best_workload_id == fine.best_workload_id == "twin"
+
+    def test_exclude_flag_keyed_separately(self, pg_catalog):
+        repo = WorkloadRepository()
+        _populate(repo, pg_catalog, "target", 100.0, seed=1)
+        _populate(repo, pg_catalog, "twin", 105.0, seed=2)
+        mapper = WorkloadMapper(repo)
+        excluded = mapper.map_workload("target", exclude_target=True)
+        included = mapper.map_workload("target", exclude_target=False)
+        assert excluded.best_workload_id == "twin"
+        assert included.best_workload_id == "target"

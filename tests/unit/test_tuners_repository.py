@@ -58,6 +58,68 @@ class TestQuality:
         assert repo.quality_score("w0") == 0.0
 
 
+class TestDerivedCache:
+    def test_derived_entry_computes_once_per_version(self, pg_catalog):
+        repo = WorkloadRepository()
+        repo.add(_sample(pg_catalog))
+        cache: dict = {}
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"value": len(calls)}
+
+        first = repo.derived_entry(cache, "k", repo.total_samples(), compute)
+        second = repo.derived_entry(cache, "k", repo.total_samples(), compute)
+        assert first is second
+        assert len(calls) == 1
+
+    def test_derived_entry_invalidates_on_version_bump(self, pg_catalog):
+        repo = WorkloadRepository()
+        repo.add(_sample(pg_catalog))
+        cache: dict = {}
+        calls = []
+        repo.derived_entry(cache, "k", repo.total_samples(), lambda: calls.append(1))
+        repo.add(_sample(pg_catalog, tps=20.0))
+        repo.derived_entry(cache, "k", repo.total_samples(), lambda: calls.append(1))
+        assert len(calls) == 2
+        assert cache["k"][0] == repo.version
+
+    def test_derived_entry_amortises_past_exact_limit(self, pg_catalog):
+        repo = WorkloadRepository()
+        repo.exact_refresh_limit = 2
+        for _ in range(4):
+            repo.add(_sample(pg_catalog))
+        cache: dict = {}
+        calls = []
+        repo.derived_entry(cache, "k", repo.total_samples(), lambda: calls.append(1))
+        # One bump at scale > exact limit: entry is served stale.
+        repo.add(_sample(pg_catalog))
+        repo.derived_entry(cache, "k", repo.total_samples(), lambda: calls.append(1))
+        assert len(calls) == 1
+        # Past stale_refresh_every bumps a refresh must fire.
+        for _ in range(repo.stale_refresh_every):
+            repo.add(_sample(pg_catalog))
+        repo.derived_entry(cache, "k", repo.total_samples(), lambda: calls.append(1))
+        assert len(calls) == 2
+
+    def test_fresh_enough_exact_below_limit(self, pg_catalog):
+        repo = WorkloadRepository()
+        repo.add(_sample(pg_catalog))
+        version = repo.version
+        assert repo.fresh_enough(version, scale=1)
+        repo.add(_sample(pg_catalog))
+        assert not repo.fresh_enough(version, scale=1)
+
+    def test_derived_cache_shared_across_consumers(self, pg_catalog):
+        repo = WorkloadRepository()
+        ns_a = repo.derived_cache.setdefault(("consumer", 1), {})
+        ns_b = repo.derived_cache.setdefault(("consumer", 1), {})
+        assert ns_a is ns_b
+        other = repo.derived_cache.setdefault(("consumer", 2), {})
+        assert other is not ns_a
+
+
 class TestSync:
     def test_sync_pulls_missing(self, pg_catalog):
         src = WorkloadRepository()
