@@ -1,6 +1,6 @@
-"""Bench: recommend() cold/warm trajectory, surrogate screen on vs off.
+"""Bench: recommend() cold/warm trajectory — screen and knob selection.
 
-Four timed points, one JSON artifact (``benchmarks/out/BENCH_recommend.json``):
+Six timed points, one JSON artifact (``benchmarks/out/BENCH_recommend.json``):
 
 - **cold** requests land right after a fresh repository sample (the
   Fig. 9 pattern: every TDE tuning request is preceded by an upload), so
@@ -9,7 +9,11 @@ Four timed points, one JSON artifact (``benchmarks/out/BENCH_recommend.json``):
 - **warm** requests hit an unchanged repository version and are served
   from the version-keyed caches; with the screen armed, §4 budget repair
   and exact GP-UCB run on a <= ``shortlist_size`` shortlist instead of
-  the full 720-candidate matrix.
+  the full 720-candidate matrix;
+- the **select** profile arms the screen *plus* dynamic knob selection
+  (``SelectionPolicy``): candidate generation, repair, the screen and
+  the GP all run inside the per-workload active subspace (8 of 14
+  catalog dims), with inactive knobs carried from the incumbent.
 
 Timing is **best-of-rounds** (the minimum over timed rounds): the
 steady-state cost of the code path with scheduler and allocator noise
@@ -27,7 +31,10 @@ Gates:
   Typical quiet-box best-of is 0.65–0.95 ms — the sub-millisecond
   number the JSON artifact records — but contended boxes show tails to
   ~1.1 ms, so the hard gate leaves headroom; a real warm-path
-  regression (say an accidental per-call LAPACK solve) lands at 3 ms+.
+  regression (say an accidental per-call LAPACK solve) lands at 3 ms+;
+- the select profile's warm speedup over flag-off must hold its own
+  (lenient) floor and stay within 20% of its committed baseline, and
+  its recorded subspace must be strictly smaller than the catalog.
 
 Set ``PERF_QUICK=1`` (CI) to reduce the number of timed rounds.
 """
@@ -44,6 +51,7 @@ from conftest import run_once
 from repro.dbsim.knobs import postgres_catalog
 from repro.experiments.common import offline_train
 from repro.tuners.base import TrainingSample, TuningRequest
+from repro.tuners.knob_selection import SelectionPolicy
 from repro.tuners.ottertune import OtterTuneTuner
 from repro.tuners.surrogate import SurrogatePolicy
 from repro.workloads.tpcc import TPCCWorkload
@@ -62,10 +70,16 @@ MIN_WARM_SPEEDUP = 3.0
 REGRESSION_FRACTION = 0.8
 #: Absolute warm flag-on ceiling (full profile); see the module docstring.
 WARM_ON_MS_CEILING = 1.5
+#: Warm select-profile speedup over flag-off must hold this floor. More
+#: lenient than the screen's: selection trades a little warm latency
+#: headroom (selector bookkeeping) for the smaller optimisation space.
+MIN_SELECT_WARM_SPEEDUP = 2.0
 
 
-def _build_tuner(surrogate: bool) -> tuple[OtterTuneTuner, TuningRequest]:
-    """One tuner plus a representative request, identical apart from the flag."""
+def _build_tuner(
+    surrogate: bool, selection: bool = False
+) -> tuple[OtterTuneTuner, TuningRequest]:
+    """One tuner plus a representative request, identical apart from the flags."""
     catalog = postgres_catalog()
     repository = offline_train(
         catalog,
@@ -79,6 +93,7 @@ def _build_tuner(surrogate: bool) -> tuple[OtterTuneTuner, TuningRequest]:
         memory_limit_mb=6553.6,
         seed=23,
         surrogate=SurrogatePolicy() if surrogate else None,
+        selection=SelectionPolicy() if selection else None,
     )
     workload_id = repository.workload_ids()[0]
     sample = repository.samples(workload_id)[0]
@@ -126,6 +141,9 @@ def test_perf_recommend_trajectory(benchmark, emit):
     baseline_speedup = baselines[
         "warm_speedup_quick" if QUICK else "warm_speedup_full"
     ]
+    baseline_select = baselines[
+        "select_warm_speedup_quick" if QUICK else "select_warm_speedup_full"
+    ]
 
     def work() -> dict:
         report: dict = {"quick": QUICK, "rounds": ROUNDS}
@@ -142,17 +160,36 @@ def test_perf_recommend_trajectory(benchmark, emit):
             "retrains": screen.retrains,
             "hits": screen.hits,
         }
+        tuner_sel, request_sel = _build_tuner(surrogate=True, selection=True)
+        report["select_on"] = _trajectory(tuner_sel, request_sel)
+        selector = tuner_sel.knob_selector
+        assert selector is not None
+        active = selector.active_knobs(request_sel.workload_id)
+        assert active is not None
+        report["subspace"] = {
+            "active": len(active),
+            "total": selector.dimension,
+            "reranks": selector.reranks,
+            "reuses": selector.reuses,
+            "hits": selector.hits,
+        }
         return report
 
     report = run_once(benchmark, work)
 
     off, on = report["surrogate_off"], report["surrogate_on"]
+    select = report["select_on"]
     speedup = off["warm_ms"]["best"] / on["warm_ms"]["best"]
+    select_speedup = off["warm_ms"]["best"] / select["warm_ms"]["best"]
     report["warm_speedup"] = speedup
+    report["select_warm_speedup"] = select_speedup
     report["gates"] = {
         "min_warm_speedup": MIN_WARM_SPEEDUP,
         "baseline_warm_speedup": baseline_speedup,
         "regression_floor": REGRESSION_FRACTION * baseline_speedup,
+        "min_select_warm_speedup": MIN_SELECT_WARM_SPEEDUP,
+        "baseline_select_warm_speedup": baseline_select,
+        "select_regression_floor": REGRESSION_FRACTION * baseline_select,
         "warm_on_ms_ceiling_asserted": (WARM_ON_MS_CEILING if not QUICK else None),
     }
 
@@ -160,6 +197,7 @@ def test_perf_recommend_trajectory(benchmark, emit):
     JSON_OUT.write_text(json.dumps(report, indent=1) + "\n")
 
     screen = report["screen"]
+    subspace = report["subspace"]
     emit(
         "perf_recommend",
         f"rounds: {ROUNDS} (quick={QUICK}; best-of timing)\n"
@@ -169,11 +207,18 @@ def test_perf_recommend_trajectory(benchmark, emit):
         f"warm {on['warm_ms']['best']:.2f} ms "
         f"(shortlist<={screen['shortlist_size']}, "
         f"coreset<={screen['max_coreset']})\n"
+        f"select on:     cold {select['cold_ms']['best']:.2f} ms, "
+        f"warm {select['warm_ms']['best']:.2f} ms "
+        f"(subspace {subspace['active']}/{subspace['total']})\n"
         f"warm speedup: {speedup:.2f}x "
         f"(gate >= {MIN_WARM_SPEEDUP:.1f}x, baseline "
-        f"{baseline_speedup:.2f}x)\n"
+        f"{baseline_speedup:.2f}x); select {select_speedup:.2f}x "
+        f"(gate >= {MIN_SELECT_WARM_SPEEDUP:.1f}x, baseline "
+        f"{baseline_select:.2f}x)\n"
         f"screen counters: shortlists={screen['shortlists']} "
-        f"retrains={screen['retrains']} hits={screen['hits']}",
+        f"retrains={screen['retrains']} hits={screen['hits']}; "
+        f"selector: reranks={subspace['reranks']} "
+        f"reuses={subspace['reuses']} hits={subspace['hits']}",
     )
 
     # The screen served every request past the policy threshold, and the
@@ -196,6 +241,20 @@ def test_perf_recommend_trajectory(benchmark, emit):
         f"{baseline_speedup:.2f}x — update the baseline only with "
         "a justified perf change"
     )
+    # The select profile tunes a strictly smaller space and must keep
+    # most of the screened path's warm advantage.
+    assert 0 < subspace["active"] < subspace["total"]
+    assert select["warm_ms"]["best"] <= select["cold_ms"]["best"]
+    assert select_speedup >= MIN_SELECT_WARM_SPEEDUP, (
+        f"select warm speedup {select_speedup:.2f}x below the "
+        f"{MIN_SELECT_WARM_SPEEDUP:.1f}x gate"
+    )
+    assert select_speedup >= REGRESSION_FRACTION * baseline_select, (
+        f"select warm speedup {select_speedup:.2f}x regressed >20% vs "
+        f"committed baseline {baseline_select:.2f}x — update the baseline "
+        "only with a justified perf change"
+    )
+
     if not QUICK:
         # Absolute time, asserted only on the full profile where the box
         # is presumed quiet: the warm-path latency target with headroom

@@ -117,6 +117,7 @@ def _run_fig09(args: argparse.Namespace) -> None:
     run = fig09_requests_per_minute.run(
         fleet_size=args.fleet_size, hours=args.hours, seed=args.seed,
         workers=args.workers, surrogate=args.surrogate,
+        knob_select=args.knob_select,
     )
     print(
         format_table(
@@ -260,6 +261,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "only): a coreset-GP prefilter shortlists candidates before "
         "the exact GP scores them; deterministic, off by default",
     )
+    run.add_argument(
+        "--knob-select", action="store_true", dest="knob_select",
+        help="arm dynamic per-workload knob selection on the tuner "
+        "(fig09 only): a Lasso-ranked active subspace narrows what "
+        "each workload tunes; deterministic, off by default",
+    )
 
     demo = sub.add_parser("demo", help="run an example scenario")
     demo.add_argument("name", choices=_DEMOS)
@@ -286,6 +293,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--surrogate", action="store_true",
         help="arm surrogate candidate screening on both landscapes' "
         "tuners (standard profile only; deterministic, off by default)",
+    )
+    chaos.add_argument(
+        "--knob-select", action="store_true", dest="knob_select",
+        help="arm dynamic per-workload knob selection on both "
+        "landscapes' tuners (standard profile only; deterministic, "
+        "off by default)",
     )
     chaos.add_argument(
         "--profile", choices=("standard", "adversarial"), default="standard",
@@ -339,6 +352,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="arm surrogate candidate screening in the traced "
         "experiment (deterministic, off by default)",
     )
+    trace.add_argument(
+        "--knob-select", action="store_true", dest="knob_select",
+        help="arm dynamic per-workload knob selection in the traced "
+        "experiment (deterministic, off by default)",
+    )
+
+    ablate = sub.add_parser(
+        "ablate",
+        help="run an ablation study and print its deterministic report",
+    )
+    ablate.add_argument(
+        "target", choices=("knobs",),
+        help="knobs: fixed full-space tuning vs dynamic per-workload "
+        "knob selection across tpcc/ycsb/tpch on one seed",
+    )
+    ablate.add_argument("--seed", type=int, default=0)
 
     lint = sub.add_parser(
         "lint", help="run the repro static invariant checker"
@@ -478,6 +507,7 @@ def _run_trace(args: argparse.Namespace) -> int:
         warmup_hours=args.warmup_hours,
         workers=args.workers,
         surrogate=args.surrogate,
+        knob_select=args.knob_select,
     )
     jsonl_path = Path(f"{args.out}.jsonl")
     chrome_path = Path(f"{args.out}.chrome.json")
@@ -551,8 +581,16 @@ def _dispatch(argv: Sequence[str] | None) -> int:
             quick=args.quick,
             workers=args.workers,
             surrogate=args.surrogate,
+            knob_select=args.knob_select,
         )
         print(report.render(), end="")
+        return 0
+    if args.command == "ablate":
+        # Imported lazily: the study builds live landscapes per arm.
+        from repro.experiments import ablation_knob_selection
+
+        ablation = ablation_knob_selection.run(seed=args.seed)
+        print(ablation.render(), end="")
         return 0
     if args.command == "demo":
         # The examples only exist in a source checkout and are not an

@@ -25,6 +25,7 @@ from repro.core.director.load_balancer import (
 )
 from repro.dbsim.config import KnobConfiguration
 from repro.tuners.base import Recommendation, TunerUnavailable, TuningRequest
+from repro.tuners.knob_selection import SelectionPolicy
 from repro.tuners.surrogate import SurrogatePolicy
 
 __all__ = ["SplitRecommendation", "ConfigDirector"]
@@ -57,6 +58,7 @@ class ConfigDirector:
         breaker_policy: BreakerPolicy | None = None,
         recorder: Recorder | None = None,
         surrogate: SurrogatePolicy | None = None,
+        selection: SelectionPolicy | None = None,
     ) -> None:
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.balancer = balancer
@@ -81,6 +83,16 @@ class ConfigDirector:
             for instance in self.balancer.instances:
                 if instance.tuner.configure_surrogate(surrogate):
                     self.surrogate_tuners.append(instance.instance_id)
+        # Dynamic knob selection follows the same opt-in contract: each
+        # tuner either adopts the policy (and tunes inside a per-workload
+        # active subspace) or declines. ``None`` (the default) configures
+        # nothing and leaves every output byte-identical.
+        self.selection_policy = selection
+        self.selection_tuners: list[str] = []
+        if selection is not None:
+            for instance in self.balancer.instances:
+                if instance.tuner.configure_selection(selection):
+                    self.selection_tuners.append(instance.instance_id)
 
     # -- request handling -----------------------------------------------------
 

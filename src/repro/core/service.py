@@ -38,6 +38,7 @@ from repro.core.tde.engine import TDEReport, ThrottlingDetectionEngine
 from repro.dbsim.engine import DatabaseCrashed, ExecutionResult
 from repro.dbsim.memory import HOT_FRACTION
 from repro.tuners.base import TrainingSample, Tuner, TuningRequest
+from repro.tuners.knob_selection import SelectionPolicy
 from repro.tuners.repository import WorkloadRepository
 from repro.tuners.surrogate import SurrogatePolicy
 from repro.workloads.generator import WorkloadGenerator
@@ -98,6 +99,7 @@ class AutoDBaaS:
         recorder: Recorder | None = None,
         governor: GovernorPolicy | None = None,
         surrogate: SurrogatePolicy | None = None,
+        selection: SelectionPolicy | None = None,
     ) -> None:
         if not tuners:
             raise ValueError("need at least one tuner instance")
@@ -113,11 +115,15 @@ class AutoDBaaS:
         )
         for tuner in tuners:
             tuner.bind_recorder(self.recorder)
-        # Surrogate screening is opt-in like the governor: the director
-        # offers the policy to every tuner instance; with None (the
-        # default) nothing changes and outputs stay byte-identical.
+        # Surrogate screening and dynamic knob selection are opt-in like
+        # the governor: the director offers each policy to every tuner
+        # instance; with None (the default) nothing changes and outputs
+        # stay byte-identical.
         self.director = ConfigDirector(
-            self.balancer, recorder=self.recorder, surrogate=surrogate
+            self.balancer,
+            recorder=self.recorder,
+            surrogate=surrogate,
+            selection=selection,
         )
         self.orchestrator = ServiceOrchestrator(
             downtime_period_s, recorder=self.recorder

@@ -19,6 +19,7 @@ __all__ = [
     "MemoryBudgetError",
     "effective_sessions",
     "fit_values_to_budget",
+    "fit_values_to_budget_frozen",
 ]
 
 #: Fraction of active connections assumed to run memory-hungry operations
@@ -345,5 +346,79 @@ def fit_values_to_budget(
         work[rows] = np.clip(
             work[rows] - excess * shrink[rows, None], shrink_min, shrink_max
         )
+    out[:, shrink_idx] = work
+    return out
+
+
+def fit_values_to_budget_frozen(
+    values: np.ndarray,
+    catalog: KnobCatalog,
+    memory_limit_mb: float,
+    frozen: np.ndarray,
+    active_connections: int = 1,
+    headroom: float = 0.95,
+    buffer_share: float = 0.7,
+) -> np.ndarray:
+    """Budget repair that never moves the *frozen* catalog columns.
+
+    The dynamic knob selector projects repair onto its active subspace:
+    inactive knobs are carried byte-identically from the incumbent (which
+    already runs inside the budget), so they contribute their memory
+    charge here but are held fixed while only the unfrozen working-area
+    knobs absorb the shrink. *frozen* is a ``(d,)`` boolean mask in
+    catalog order. Same iterative policy as
+    :func:`fit_values_to_budget`; with an all-``False`` mask the two
+    agree bitwise.
+    """
+    (
+        buffer_idx,
+        buffer_min,
+        buffer_max,
+        shrink_idx,
+        shrink_min,
+        shrink_max,
+        restart_mask,
+    ) = _budget_fit_arrays(catalog)
+    frozen = np.asarray(frozen, dtype=bool)
+    if frozen.shape != (len(catalog),):
+        raise ValueError("frozen must be a (d,) mask in catalog order")
+    out = np.array(values, dtype=float, copy=True)
+    if out.ndim != 2 or out.shape[1] != len(catalog):
+        raise ValueError("values must be (n, d) in catalog order")
+    budget = memory_limit_mb * headroom
+    sessions = effective_sessions(active_connections)
+    weights = np.where(restart_mask, 1.0, sessions)
+
+    if not frozen[buffer_idx]:
+        buffer_mb = np.minimum(out[:, buffer_idx], buffer_share * budget)
+        buffer_mb = np.clip(buffer_mb, buffer_min, buffer_max)
+        out[:, buffer_idx] = buffer_mb
+    else:
+        buffer_mb = out[:, buffer_idx]
+    allowed = np.maximum(0.0, budget - buffer_mb)
+
+    work = out[:, shrink_idx]  # (n, k) copy via fancy indexing
+    movable = ~frozen[shrink_idx]
+    active = np.ones(len(out), dtype=bool)
+    for _ in range(6):
+        charge = np.zeros(len(out))
+        reducible = np.zeros(len(out))
+        for k in range(work.shape[1]):
+            charge += work[:, k] * weights[k]
+            if movable[k]:
+                reducible += (work[:, k] - shrink_min[k]) * weights[k]
+        active &= charge > allowed
+        active &= reducible > 1e-12
+        if not active.any():
+            break
+        with np.errstate(divide="ignore", invalid="ignore"):
+            shrink = np.minimum(1.0, (charge - allowed) / reducible)
+        rows = np.where(active)[0]
+        excess = work[rows] - shrink_min
+        repaired = np.clip(
+            work[rows] - excess * shrink[rows, None], shrink_min, shrink_max
+        )
+        # Frozen columns bypass even the clip so their bytes never move.
+        work[rows] = np.where(movable[None, :], repaired, work[rows])
     out[:, shrink_idx] = work
     return out

@@ -43,6 +43,7 @@ from repro.faults.injectors import (
 from repro.faults.plan import FaultKind, FaultPlan
 from repro.obs.trace import TraceRecorder
 from repro.parallel import FleetExecutor
+from repro.tuners.knob_selection import SelectionPolicy
 from repro.tuners.ottertune import OtterTuneTuner
 from repro.tuners.surrogate import SurrogatePolicy
 from repro.workloads.tpcc import TPCCWorkload
@@ -207,6 +208,7 @@ def _build_landscape(
     recorder: Recorder | None = None,
     governor: GovernorPolicy | None = None,
     surrogate: SurrogatePolicy | None = None,
+    selection: SelectionPolicy | None = None,
 ) -> _Landscape:
     """Build one landscape; identical inputs give identical landscapes.
 
@@ -218,7 +220,8 @@ def _build_landscape(
     A *governor* policy arms safe online tuning (the adversarial
     profile runs the same landscape with and without one). A
     *surrogate* policy arms candidate screening on the BO tuners
-    (offered through the :class:`FaultyTuner` shims).
+    (offered through the :class:`FaultyTuner` shims); a *selection*
+    policy arms dynamic knob selection the same way.
     """
     if recorder is not None:
         injector.recorder = recorder
@@ -264,6 +267,7 @@ def _build_landscape(
         recorder=recorder,
         governor=governor,
         surrogate=surrogate,
+        selection=selection,
     )
     # Route the reconciler's restore path through the same (possibly
     # faulty) adapter, with a one-window watcher timeout so drift left by
@@ -345,6 +349,8 @@ class _LandscapeTask:
     governor: GovernorPolicy | None = None
     #: Arm surrogate candidate screening on the BO tuners.
     surrogate: SurrogatePolicy | None = None
+    #: Arm dynamic per-workload knob selection on the tuners.
+    selection: SelectionPolicy | None = None
 
 
 @dataclass
@@ -376,6 +382,7 @@ def _run_landscape_task(task: _LandscapeTask) -> _LandscapeOutcome:
         recorder=rec,
         governor=task.governor,
         surrogate=task.surrogate,
+        selection=task.selection,
     )
     fleet_tps, degraded = _run_landscape(landscape, task.windows, task.window_s)
     governor = landscape.service.governor
@@ -411,6 +418,7 @@ def run(
     workers: int = 1,
     start_method: str | None = None,
     surrogate: bool = False,
+    knob_select: bool = False,
 ) -> ChaosReport:
     """Run the chaos experiment; see the module docstring.
 
@@ -424,6 +432,8 @@ def run(
     the same trace bytes as recording inline. *surrogate* arms
     candidate screening on **both** landscapes' tuners (keeping the
     baseline a fair control); default off, byte-identical output.
+    *knob_select* arms dynamic knob selection on both landscapes the
+    same way (default off, byte-identical output).
     """
     if quick:
         fleet_size = min(fleet_size, 2)
@@ -446,6 +456,7 @@ def run(
 
     traced = isinstance(recorder, TraceRecorder)
     screen = SurrogatePolicy() if surrogate else None
+    selection = SelectionPolicy() if knob_select else None
     executor = FleetExecutor(workers=workers, start_method=start_method)
     base_out, fault_out = executor.map(
         _run_landscape_task,
@@ -454,6 +465,7 @@ def run(
                 seed, fleet_size, windows, window_s, offline_configs, plan,
                 enabled=False,
                 surrogate=screen,
+                selection=selection,
             ),
             _LandscapeTask(
                 seed, fleet_size, windows, window_s, offline_configs, plan,
@@ -461,6 +473,7 @@ def run(
                 traced=traced,
                 host_time=traced and recorder.host_time,  # type: ignore[union-attr]
                 surrogate=screen,
+                selection=selection,
             ),
         ],
     )

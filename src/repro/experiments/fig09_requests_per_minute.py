@@ -376,6 +376,7 @@ def run(
     start_method: str | None = None,
     stats: SessionStats | None = None,
     surrogate: bool = False,
+    knob_select: bool = False,
 ) -> Fig09Run:
     """Simulate the fleet for *hours* and count tuning requests.
 
@@ -391,7 +392,8 @@ def run(
     (bytes and per-phase times per window) without affecting results.
     *surrogate* arms the surrogate screening tier on the director's
     tuner (default off; flag-off output is byte-identical to builds
-    without the tier).
+    without the tier). *knob_select* arms dynamic per-workload knob
+    selection the same way (default off, flag-off byte-identical).
     """
     rec = recorder if recorder is not None else NULL_RECORDER
     catalog = postgres_catalog()
@@ -431,6 +433,7 @@ def run(
     )
     from repro.core.director.config_director import ConfigDirector
     from repro.core.director.load_balancer import LeastLoadedBalancer, TunerInstance
+    from repro.tuners.knob_selection import SelectionPolicy
     from repro.tuners.surrogate import SurrogatePolicy
 
     tuner.bind_recorder(rec)
@@ -438,6 +441,7 @@ def run(
         LeastLoadedBalancer([TunerInstance("tuner-00", tuner)]),
         recorder=rec,
         surrogate=SurrogatePolicy() if surrogate else None,
+        selection=SelectionPolicy() if knob_select else None,
     )
     # The TDE reads a bounded sample of each member's streaming log; at
     # paper scale a smaller per-window sample keeps the day-long 80-member

@@ -37,6 +37,7 @@ from repro.tuners.base import (
 )
 
 if TYPE_CHECKING:
+    from repro.tuners.knob_selection import SelectionPolicy
     from repro.tuners.surrogate import SurrogatePolicy
 
 __all__ = [
@@ -165,6 +166,15 @@ class FaultyTuner(Tuner):
         delivery, so the offer passes straight through.
         """
         return self.inner.configure_surrogate(policy)
+
+    def configure_selection(self, policy: "SelectionPolicy") -> bool:
+        """Forward dynamic knob selection to the inner tuner.
+
+        Same reasoning as :meth:`configure_surrogate`: which subspace
+        the inner tuner optimises over is orthogonal to whether the
+        delivered recommendation gets perturbed.
+        """
+        return self.inner.configure_selection(policy)
 
     def _perturbed(
         self, config: KnobConfiguration, magnitude: float

@@ -18,6 +18,7 @@ import numpy as np
 from repro.common.recording import NULL_RECORDER, Recorder
 
 if TYPE_CHECKING:
+    from repro.tuners.knob_selection import SelectionPolicy
     from repro.tuners.surrogate import SurrogatePolicy
 from repro.dbsim.config import KnobConfiguration
 from repro.dbsim.knobs import KnobCatalog
@@ -233,6 +234,16 @@ class Tuner(abc.ABC):
         apply to its recommendation mechanism. The default declines:
         screening is strictly opt-in per implementation, so new tuner
         kinds stay byte-identical until they explicitly support it.
+        """
+        return False
+
+    def configure_selection(self, policy: "SelectionPolicy") -> bool:
+        """Enable dynamic per-workload knob selection, if this tuner can.
+
+        Returns ``True`` when the tuner adopted *policy* and will tune
+        inside a dynamic active subspace, ``False`` when selection does
+        not apply. The default declines, same opt-in contract as
+        :meth:`configure_surrogate`.
         """
         return False
 

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.common.rng import make_rng
-from repro.dbsim.knobs import KnobCatalog
+from repro.dbsim.knobs import KnobCatalog, KnobClass
 from repro.dbsim.metrics import OTTERTUNE_METRICS, MetricsDelta
 from repro.tuners.base import (
     Recommendation,
@@ -34,6 +34,11 @@ from repro.tuners.base import (
     boost_throttled_knobs,
     config_to_vector,
     vector_to_config,
+)
+from repro.tuners.knob_selection import (
+    KnobSelector,
+    SelectionPolicy,
+    repair_config_frozen,
 )
 from repro.tuners.neural import MLP, Adam, soft_update
 
@@ -118,6 +123,7 @@ class CDBTuneTuner(Tuner):
         memory_limit_mb: float | None = None,
         active_connections: int = 20,
         seed: int | np.random.Generator | None = 0,
+        selection: SelectionPolicy | None = None,
     ) -> None:
         self.catalog = catalog
         self.metric_names = metric_names
@@ -146,6 +152,7 @@ class CDBTuneTuner(Tuner):
         self._previous_tps: dict[str, float] = {}
         self._pending: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         self.episode_rewards: list[float] = []
+        self._selector = KnobSelector(selection, catalog) if selection else None
 
     # -- Tuner interface ---------------------------------------------------------
 
@@ -170,9 +177,32 @@ class CDBTuneTuner(Tuner):
         """
         return False
 
+    @property
+    def knob_selector(self) -> KnobSelector | None:
+        """The active selector, for stats inspection (``None`` when off)."""
+        return self._selector
+
+    def configure_selection(self, policy: SelectionPolicy) -> bool:
+        """Enable dynamic knob selection under *policy*.
+
+        Unlike surrogate screening, selection does apply to DDPG: the
+        actor stays full-width, but its action is projected onto the
+        active subspace before it becomes a configuration — inactive
+        coordinates snap back to the incumbent's, shrinking the space
+        the exploration noise actually perturbs.
+        """
+        self._selector = KnobSelector(policy, self.catalog)
+        return True
+
     def learn(self, sample: TrainingSample) -> None:
         """Close the pending transition for the sample's workload and learn."""
         wid = sample.workload_id
+        if self._selector is not None:
+            # The RL tuner has no shared repository; the selector keeps
+            # its own arrival-ordered moments off the sample stream.
+            self._selector.ingest(
+                wid, config_to_vector(sample.config), sample.objective
+            )
         state = self.state_from_metrics(sample.metrics)
         tps = sample.objective
         if wid not in self._initial_tps:
@@ -197,13 +227,63 @@ class CDBTuneTuner(Tuner):
         noise = self._rng.normal(0.0, self.exploration_sigma, size=action.shape)
         self.exploration_sigma *= self.exploration_decay
         action = np.clip(action + noise, 0.0, 1.0)
-        self._pending[request.workload_id] = (state, action)
-        config = boost_throttled_knobs(
-            vector_to_config(action, self.catalog), request
-        )
-        if self.memory_limit_mb is not None:
-            config = config.fitted_to_budget(
-                self.memory_limit_mb, self.active_connections
+        sub = None
+        if self._selector is not None:
+            if request.throttle_class == KnobClass.ASYNC_PLANNER.value:
+                # Automaton-owned knobs: record the throttle as an
+                # importance signal, never tune them from here.
+                for knob_name in request.throttle_knobs:
+                    self._selector.note_automaton_signal(knob_name)
+            before = self._selector.counters()
+            sub = self._selector.subspace_for(request.workload_id)
+            if sub is not None:
+                self._selector.record_deltas(self.recorder, before)
+        if sub is None:
+            self._pending[request.workload_id] = (state, action)
+            config = boost_throttled_knobs(
+                vector_to_config(action, self.catalog), request
+            )
+            if self.memory_limit_mb is not None:
+                config = config.fitted_to_budget(
+                    self.memory_limit_mb, self.active_connections
+                )
+        else:
+            assert self._selector is not None
+            # Project the action onto the active subspace: inactive
+            # coordinates snap back to the incumbent's, and the
+            # configuration carries the incumbent's float values for
+            # them bit-for-bit (no unit-vector round trip).
+            action = np.where(
+                self._selector.mask(sub),
+                action,
+                config_to_vector(request.config),
+            )
+            self._pending[request.workload_id] = (state, action)
+            full = vector_to_config(action, self.catalog)
+            names = self.catalog.names()
+            config = request.config.with_values(
+                {names[i]: full[names[i]] for i in sub.active}
+            )
+            config = boost_throttled_knobs(config, request)
+            if self.memory_limit_mb is not None:
+                config = repair_config_frozen(
+                    config,
+                    request.config,
+                    self.memory_limit_mb,
+                    self.active_connections,
+                )
+            self.recorder.event(
+                "tuner.subspace",
+                instance=request.instance_id,
+                source=self.name,
+                workload=request.workload_id,
+                active=len(sub.active),
+                total=len(self.catalog),
+                version=sub.version,
+                updated=sub.updated,
+                automaton_signals=sum(
+                    self._selector.automaton_signals.values()
+                ),
             )
         current = config_to_vector(request.config)
         names = self.catalog.names()

@@ -15,6 +15,7 @@ from collections import defaultdict
 from repro.dbsim.knobs import KnobCatalog
 from repro.tuners.base import Recommendation, TrainingSample, Tuner, TuningRequest
 from repro.tuners.cdbtune import CDBTuneTuner
+from repro.tuners.knob_selection import SelectionPolicy
 from repro.tuners.ottertune import OtterTuneTuner
 from repro.tuners.repository import WorkloadRepository
 from repro.tuners.surrogate import SurrogatePolicy
@@ -64,6 +65,18 @@ class HybridTuner(Tuner):
     def configure_surrogate(self, policy: SurrogatePolicy) -> bool:
         """Screen the BO member's candidates (the RL member has none)."""
         return self.bo.configure_surrogate(policy)
+
+    def configure_selection(self, policy: SelectionPolicy) -> bool:
+        """Offer dynamic knob selection to both members.
+
+        Unlike surrogate screening, selection applies to both families —
+        the BO member projects its candidate matrix and the RL member its
+        action vector — and each keeps its own selector (the members see
+        different sample streams, so sharing one would skew the moments).
+        """
+        bo_adopted = self.bo.configure_selection(policy)
+        rl_adopted = self.rl.configure_selection(policy)
+        return bo_adopted or rl_adopted
 
     def observe(self, sample: TrainingSample) -> None:
         """Store once (via the BO member's repository) and learn."""

@@ -18,7 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["lasso_coordinate_descent", "lasso_path_ranking"]
+__all__ = [
+    "lasso_coordinate_descent",
+    "lasso_gram_ranking",
+    "lasso_path_ranking",
+]
 
 
 def _standardise(x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -144,6 +148,61 @@ def lasso_coordinate_descent(
     gram = (xs.T @ xs) / n
     corr = (xs.T @ ys) / n
     return _cd_gram(gram, corr, float(alpha), np.zeros(d), max_iter, tol)
+
+
+def lasso_gram_ranking(
+    gram: np.ndarray,
+    corr: np.ndarray,
+    n_alphas: int = 30,
+    warm_path: np.ndarray | None = None,
+    warm_problem: tuple[np.ndarray, np.ndarray] | None = None,
+) -> tuple[list[int], np.ndarray]:
+    """Path ranking over a precomputed standardised Gram problem.
+
+    The dynamic knob selector re-ranks every time the repository grows.
+    It maintains the standardised problem incrementally from running
+    moments (see :mod:`repro.tuners.knob_selection`), so a re-rank never
+    rebuilds the O(n·d²) Gram from raw rows; this function takes that
+    problem directly. *warm_path*/*warm_problem* carry the previous
+    fit's coefficients and inputs: the batched descent is a pure
+    function of ``(gram, corr, n_alphas)``, so when the problem bits
+    have not moved — a repository version bump that added no rows for
+    this workload — the previous coefficients are returned without
+    descending at all. Either way the result is exactly what a
+    from-scratch solve of the same problem bits produces.
+
+    Returns ``(order, path)``: *order* ranks features by path entry with
+    :func:`lasso_path_ranking`'s sort key, *path* is the ``(n_alphas,
+    d)`` coefficient matrix to hand back as the next call's *warm_path*.
+    """
+    d = len(corr)
+    if d == 0 or gram.shape != (d, d):
+        raise ValueError("gram must be (d, d) with matching corr")
+    alpha_max = float(np.max(np.abs(corr))) or 1.0
+    alphas = alpha_max * np.geomspace(1.0, 1e-3, n_alphas)
+    if (
+        warm_path is not None
+        and warm_problem is not None
+        and warm_path.shape == (n_alphas, d)
+        and np.array_equal(warm_problem[0], gram)
+        and np.array_equal(warm_problem[1], corr)
+    ):
+        path = warm_path
+    else:
+        path = _cd_gram_batch(gram, corr, alphas, max_iter=500, tol=1e-6)
+    entered = np.abs(path) > 1e-9
+    entry_step = np.where(
+        entered.any(axis=0), entered.argmax(axis=0), n_alphas
+    )
+    final_w = path[-1]
+    # Same tie-breaks as the raw-row ranking: degenerate (zero-variance)
+    # columns never entered the descent and rank by a zeroed correlation.
+    tie_corr = np.where(gram.diagonal() > 1e-12, np.abs(corr), 0.0)
+    order = sorted(
+        range(d),
+        key=lambda j: (entry_step[j], -abs(final_w[j]), -tie_corr[j]),
+    )
+    return order, path
 
 
 def lasso_path_ranking(

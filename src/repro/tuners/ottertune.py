@@ -26,8 +26,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.rng import make_rng
-from repro.dbsim.config import KnobConfiguration, fit_values_to_budget
-from repro.dbsim.knobs import KnobCatalog
+from repro.dbsim.config import (
+    KnobConfiguration,
+    fit_values_to_budget,
+    fit_values_to_budget_frozen,
+)
+from repro.dbsim.knobs import KnobCatalog, KnobClass
 from repro.tuners.base import (
     Recommendation,
     TrainingSample,
@@ -40,6 +44,12 @@ from repro.tuners.base import (
     vectors_to_values,
 )
 from repro.tuners.gpr import GaussianProcessRegressor
+from repro.tuners.knob_selection import (
+    KnobSelector,
+    SelectionPolicy,
+    Subspace,
+    repair_config_frozen,
+)
 from repro.tuners.lasso import lasso_path_ranking
 from repro.tuners.repository import WorkloadRepository
 from repro.tuners.surrogate import SurrogatePolicy, SurrogateScreen
@@ -72,6 +82,14 @@ class OtterTuneTuner(Tuner):
         budget repair plus exact GP-UCB run only on the shortlist. The
         default (``None``) leaves every output byte-identical to builds
         without the surrogate tier.
+    selection:
+        Optional :class:`~repro.tuners.knob_selection.SelectionPolicy`.
+        When set, a :class:`~repro.tuners.knob_selection.KnobSelector`
+        derives a per-workload active subspace and candidate
+        generation, budget repair, GP-UCB and the surrogate screen all
+        run inside it, with inactive knobs carried byte-identically
+        from the incumbent configuration. Off (``None``) by default:
+        the flag-off path is the exact pre-selection expression.
     """
 
     name = "ottertune"
@@ -87,6 +105,7 @@ class OtterTuneTuner(Tuner):
         active_connections: int = 20,
         seed: int | np.random.Generator | None = 0,
         surrogate: SurrogatePolicy | None = None,
+        selection: SelectionPolicy | None = None,
     ) -> None:
         if max_train_samples < 3:
             raise ValueError("max_train_samples must be >= 3")
@@ -110,15 +129,31 @@ class OtterTuneTuner(Tuner):
             str, tuple[int, GaussianProcessRegressor, np.ndarray, np.ndarray]
         ] = {}
         self._screen = SurrogateScreen(surrogate) if surrogate else None
+        self._selector = KnobSelector(selection, catalog) if selection else None
+        # Projected GPR per workload, keyed on (version, active set) —
+        # the flag-on sibling of ``_gpr_cache``.
+        self._proj_gpr_cache: dict[
+            str, tuple[int, tuple[int, ...], GaussianProcessRegressor]
+        ] = {}
 
     @property
     def surrogate_screen(self) -> SurrogateScreen | None:
         """The active screen, for stats inspection (``None`` when off)."""
         return self._screen
 
+    @property
+    def knob_selector(self) -> KnobSelector | None:
+        """The active selector, for stats inspection (``None`` when off)."""
+        return self._selector
+
     def configure_surrogate(self, policy: SurrogatePolicy) -> bool:
         """Enable surrogate candidate screening under *policy*."""
         self._screen = SurrogateScreen(policy)
+        return True
+
+    def configure_selection(self, policy: SelectionPolicy) -> bool:
+        """Enable dynamic knob selection under *policy*."""
+        self._selector = KnobSelector(policy, self.catalog)
         return True
 
     # -- Tuner interface ---------------------------------------------------------
@@ -143,6 +178,10 @@ class OtterTuneTuner(Tuner):
             return Recommendation(
                 request.instance_id, config, self.name, expected_improvement=0.0
             )
+        if self._selector is not None:
+            projected = self._recommend_projected(request, x, y)
+            if projected is not None:
+                return projected
         if self._screen is None:
             candidates = self._candidates(x, y)
         else:
@@ -338,6 +377,189 @@ class OtterTuneTuner(Tuner):
             )
             raw = raw[keep]
         return self._repair_candidates(raw)
+
+    # -- projected (dynamic knob selection) path ---------------------------------
+
+    def _recommend_projected(
+        self, request: TuningRequest, x: np.ndarray, y: np.ndarray
+    ) -> Recommendation | None:
+        """Flag-on recommendation inside the workload's active subspace.
+
+        Returns ``None`` when the selector abstains (young workload) —
+        the caller then runs the exact full-space path. No RNG is drawn
+        before the abstain check, so an abstaining selector leaves the
+        stream exactly where the full-space expressions expect it.
+        """
+        selector = self._selector
+        assert selector is not None
+        if request.throttle_class == KnobClass.ASYNC_PLANNER.value:
+            # The TDE's learning automata own these knobs; their
+            # throttles are the importance signal shared with this tier.
+            for knob_name in request.throttle_knobs:
+                selector.note_automaton_signal(knob_name)
+        dataset = self.repository.dataset(request.workload_id)
+        version = self.repository.version
+        before = selector.counters()
+        sub = selector.subspace(
+            request.workload_id, dataset.configs, dataset.objective, version
+        )
+        if sub is None:
+            return None
+        selector.record_deltas(self.recorder, before)
+
+        active = np.fromiter(sub.active, dtype=np.intp)
+        names = self.catalog.names()
+        incumbent = config_to_vector(request.config)
+        gpr = self._projected_gpr(request.workload_id, sub, x, y, version)
+        raw = self._raw_candidates_projected(x, y, incumbent, active)
+        if self._screen is not None:
+            retrains_before = self._screen.retrains
+            keep = self._screen.shortlist(
+                request.workload_id,
+                raw[:, active],
+                gpr,
+                x[:, active],
+                y,
+                self.kappa,
+                version,
+            )
+            if keep is not None:
+                if self._screen.retrains > retrains_before:
+                    self.recorder.inc("repro_surrogate_retrains_total")
+                else:
+                    self.recorder.inc("repro_surrogate_hits_total")
+                self.recorder.inc("repro_surrogate_shortlists_total")
+                self.recorder.event(
+                    "tuner.shortlist",
+                    instance=request.instance_id,
+                    source=self.name,
+                    candidates=len(raw),
+                    shortlist=len(keep),
+                )
+                raw = raw[keep]
+        candidates = self._repair_candidates_frozen(raw, active)
+        scores = gpr.ucb(candidates[:, active], kappa=self.kappa)
+        self.recorder.event(
+            "tuner.surrogate",
+            instance=request.instance_id,
+            source=self.name,
+            train_samples=len(y),
+            candidates=len(candidates),
+        )
+        self.recorder.event(
+            "tuner.subspace",
+            instance=request.instance_id,
+            source=self.name,
+            workload=request.workload_id,
+            active=len(sub.active),
+            total=len(names),
+            version=sub.version,
+            updated=sub.updated,
+            automaton_signals=sum(selector.automaton_signals.values()),
+        )
+        best = int(np.argmax(scores))
+        winner = vector_to_config(candidates[best], self.catalog)
+        # Only the active knobs move; inactive knobs keep the incumbent's
+        # float values bit-for-bit (they are never run through the
+        # unit-vector round trip).
+        config = request.config.with_values(
+            {names[i]: winner[names[i]] for i in sub.active}
+        )
+        config = boost_throttled_knobs(config, request)
+        if self.memory_limit_mb is not None:
+            config = repair_config_frozen(
+                config,
+                request.config,
+                self.memory_limit_mb,
+                self.active_connections,
+            )
+        best_mean = float(gpr.predict(candidates[best, active][None, :])[0])
+        current_pred = float(gpr.predict(incumbent[active][None, :])[0])
+        ranking = selector.importance(request.workload_id) or ()
+        return Recommendation(
+            instance_id=request.instance_id,
+            config=config,
+            source=self.name,
+            expected_improvement=best_mean - current_pred,
+            ranked_knobs=list(ranking),
+        )
+
+    def _projected_gpr(
+        self,
+        workload_id: str,
+        sub: Subspace,
+        x: np.ndarray,
+        y: np.ndarray,
+        version: int,
+    ) -> GaussianProcessRegressor:
+        """GPR over the active columns, keyed on (version, active set).
+
+        The active set is itself a pure function of the version (the
+        selector re-ranks at most once per version), so version keying
+        is as safe here as on the full-space ``_gpr_cache``; the set is
+        kept in the key anyway as a guard.
+        """
+        cached = self._proj_gpr_cache.get(workload_id)
+        if (
+            cached is not None
+            and cached[0] == version
+            and cached[1] == sub.active
+        ):
+            return cached[2]
+        active = np.fromiter(sub.active, dtype=np.intp)
+        gpr = GaussianProcessRegressor(
+            length_scale=0.4, noise_variance=0.05
+        ).fit(x[:, active], y)
+        self._proj_gpr_cache[workload_id] = (version, sub.active, gpr)
+        return gpr
+
+    def _raw_candidates_projected(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        incumbent: np.ndarray,
+        active: np.ndarray,
+    ) -> np.ndarray:
+        """Full-width candidates that vary only on the active columns.
+
+        RNG draws are sized by the subspace (``(n, k)`` instead of
+        ``(n, d)``), so flag-on runs are a pure function of (seed,
+        policy) — byte-reproducible across runs, though deliberately not
+        stream-compatible with the full-space path. Inactive columns are
+        the incumbent's coordinates.
+        """
+        k = len(active)
+        n_random = self.n_candidates
+        random_part = self._rng.uniform(0.0, 1.0, size=(n_random, k))
+        best_seen = x[int(np.argmax(y))]
+        local_part = np.clip(
+            best_seen[active]
+            + self._rng.normal(0.0, 0.08, size=(n_random // 5, k)),
+            0.0,
+            1.0,
+        )
+        raw_k = np.vstack([random_part, local_part])
+        raw = np.tile(incumbent, (len(raw_k), 1))
+        raw[:, active] = raw_k
+        return raw
+
+    def _repair_candidates_frozen(
+        self, candidates: np.ndarray, active: np.ndarray
+    ) -> np.ndarray:
+        """§4 budget repair that moves only the active columns."""
+        if self.memory_limit_mb is None:
+            return candidates
+        frozen = np.ones(len(self.catalog), dtype=bool)
+        frozen[active] = False
+        values = vectors_to_values(candidates, self.catalog)
+        repaired = fit_values_to_budget_frozen(
+            values,
+            self.catalog,
+            self.memory_limit_mb,
+            frozen,
+            self.active_connections,
+        )
+        return values_to_vectors(repaired, self.catalog)
 
     def _repair(self, config: KnobConfiguration) -> KnobConfiguration:
         if self.memory_limit_mb is None:
